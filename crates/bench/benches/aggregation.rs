@@ -1,0 +1,47 @@
+//! Aggregation-enhancement benchmarks: the weekly Algorithm 2 scan
+//! (Ω evaluation + top-Ψ selection) and trace materialization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minicost::prelude::*;
+use std::hint::black_box;
+use tracegen::CoRequestModel;
+
+fn bench_aggregation(c: &mut Criterion) {
+    let trace = Trace::generate(&TraceConfig {
+        files: 2_000,
+        days: 28,
+        seed: 13,
+        ..TraceConfig::default()
+    });
+    let model = CostModel::new(PricingPolicy::paper_2020());
+    let groups = CoRequestModel { groups: 200, seed: 13, ..Default::default() }.generate(&trace);
+
+    c.bench_function("aggregation/omega_scan_200_groups", |b| {
+        b.iter(|| {
+            let omegas: Vec<Omega> = groups
+                .iter()
+                .map(|g| Omega::evaluate(g, &trace, &model, Tier::Hot, 0..7))
+                .collect();
+            black_box(omegas)
+        })
+    });
+
+    let omegas: Vec<Omega> = groups
+        .iter()
+        .map(|g| Omega::evaluate(g, &trace, &model, Tier::Hot, 0..7))
+        .collect();
+    c.bench_function("aggregation/planner_round", |b| {
+        b.iter(|| {
+            let mut planner = AggregationPlanner::new(50, groups.len());
+            black_box(planner.evaluate(black_box(&omegas)))
+        })
+    });
+
+    let active: Vec<usize> = (0..50).collect();
+    c.bench_function("aggregation/apply_50_groups", |b| {
+        b.iter(|| black_box(apply_aggregation(&trace, &groups, &active)))
+    });
+}
+
+criterion_group!(benches, bench_aggregation, );
+criterion_main!(benches);

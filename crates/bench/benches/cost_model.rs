@@ -1,0 +1,41 @@
+//! Microbenchmarks of the pricing substrate: the cost model is the inner
+//! loop of every policy and of the Optimal DP.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pricing::{CostModel, FileDay, PricingPolicy, Tier};
+use std::hint::black_box;
+
+fn bench_day_cost(c: &mut Criterion) {
+    let model = CostModel::new(PricingPolicy::paper_2020());
+    let day = FileDay {
+        size_gb: 0.1,
+        reads: 1_234,
+        writes: 56,
+        tier: Tier::Cool,
+        changed_from: Some(Tier::Hot),
+    };
+    c.bench_function("cost_model/day_cost_with_change", |b| {
+        b.iter(|| model.day_cost(black_box(&day)))
+    });
+
+    c.bench_function("cost_model/steady_day_cost", |b| {
+        b.iter(|| {
+            model.steady_day_cost(black_box(0.1), black_box(1_234), black_box(56), Tier::Hot)
+        })
+    });
+}
+
+fn bench_best_single_tier(c: &mut Criterion) {
+    let model = CostModel::new(PricingPolicy::paper_2020());
+    let days: Vec<(u64, u64)> = (0..35).map(|d| (d * 13 % 2_000, d)).collect();
+    c.bench_function("cost_model/best_single_tier_35d", |b| {
+        b.iter_batched(
+            || days.clone(),
+            |days| model.best_single_tier(black_box(0.1), days),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_day_cost, bench_best_single_tier);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! The paper's §6.4 latency claim: "the average time cost for one data
+//! file storage type assignment per day is less than 1 millisecond". This
+//! bench measures exactly that — one deployed-policy decision for one file.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minicost::features::FeatureConfig;
+use minicost::policy::RlPolicy;
+use minicost::prelude::*;
+use rl::NetSpec;
+use std::hint::black_box;
+
+fn bench_per_file_decision(c: &mut Criterion) {
+    let trace = Trace::generate(&TraceConfig {
+        files: 64,
+        days: 21,
+        seed: 9,
+        ..TraceConfig::default()
+    });
+    let features = FeatureConfig::default();
+
+    let mut group = c.benchmark_group("decision_per_file");
+    for width in [16usize, 128] {
+        let spec = NetSpec {
+            window: features.window,
+            channels: FeatureConfig::CHANNELS,
+            extras: minicost::features::EXTRA_FEATURES,
+            filters: width,
+            kernel: 4,
+            stride: 1,
+            hidden: width,
+            actions: 3,
+        };
+        let actor = spec.build_actor(3);
+        let mut policy = RlPolicy::from_params(spec, &actor.param_vector(), features);
+        let file = &trace.files[0];
+        group.bench_with_input(BenchmarkId::new("minicost", width), &width, |b, _| {
+            b.iter(|| black_box(policy.decide_file(black_box(file), 14, Tier::Cool)))
+        });
+    }
+
+    // Greedy's per-file decision, for the Fig. 12 comparison.
+    let model = CostModel::new(PricingPolicy::paper_2020());
+    let file = &trace.files[0];
+    group.bench_function("greedy", |b| {
+        b.iter(|| {
+            let (r, w) = file.day(14);
+            Tier::all()
+                .min_by_key(|&t| {
+                    model.policy().change_cost(Tier::Cool, t, file.size_gb)
+                        + model.steady_day_cost(file.size_gb, r, w, t)
+                })
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_file_decision);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Neural-network kernel benchmarks: the forward/backward passes that
+//! dominate both training throughput and deployed decision latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nn::Matrix;
+use rl::NetSpec;
+use std::hint::black_box;
+
+fn spec(width: usize) -> NetSpec {
+    NetSpec {
+        window: 7,
+        channels: 2,
+        extras: 6,
+        filters: width,
+        kernel: 4,
+        stride: 1,
+        hidden: width,
+        actions: 3,
+    }
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_forward");
+    for width in [16usize, 64, 128] {
+        let mut actor = spec(width).build_actor(1);
+        let state = Matrix::row_vector(&vec![0.3; spec(width).state_dim()]);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| black_box(actor.forward(black_box(&state))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_forward_backward");
+    for width in [16usize, 64] {
+        let mut actor = spec(width).build_actor(1);
+        let state = Matrix::row_vector(&vec![0.3; spec(width).state_dim()]);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| {
+                let out = actor.forward(black_box(&state));
+                actor.zero_grads();
+                black_box(actor.backward(&out));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_forward_backward);
+criterion_main!(benches);

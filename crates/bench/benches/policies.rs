@@ -1,0 +1,57 @@
+//! Policy-level benchmarks: full-horizon simulation cost per strategy and
+//! the offline DP planner (these underpin the Fig. 12 overhead claims).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minicost::optimal::{brute_force_plan, optimal_plan};
+use minicost::prelude::*;
+use std::hint::black_box;
+
+fn setup(files: usize) -> (Trace, CostModel) {
+    let trace = Trace::generate(&TraceConfig {
+        files,
+        days: 35,
+        seed: 7,
+        ..TraceConfig::default()
+    });
+    (trace, CostModel::new(PricingPolicy::paper_2020()))
+}
+
+fn bench_optimal_dp(c: &mut Criterion) {
+    let (trace, model) = setup(64);
+    let mut group = c.benchmark_group("optimal");
+    group.bench_function("dp_per_file_35d", |b| {
+        b.iter(|| {
+            for file in &trace.files {
+                black_box(optimal_plan(file, &model, Tier::Hot));
+            }
+        })
+    });
+    // The exponential baseline on a 7-day horizon, for scale.
+    let week = trace.day_window(0..7);
+    group.bench_function("brute_force_per_file_7d", |b| {
+        b.iter(|| {
+            for file in &week.files {
+                black_box(brute_force_plan(file, &model, Tier::Hot));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_policy_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_35d");
+    for files in [100usize, 1_000] {
+        let (trace, model) = setup(files);
+        let cfg = SimConfig::default();
+        group.bench_with_input(BenchmarkId::new("greedy", files), &files, |b, _| {
+            b.iter(|| simulate(&trace, &model, &mut GreedyPolicy, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("hot", files), &files, |b, _| {
+            b.iter(|| simulate(&trace, &model, &mut HotPolicy, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimal_dp, bench_policy_decisions);
+criterion_main!(benches);

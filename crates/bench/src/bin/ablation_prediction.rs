@@ -1,0 +1,7 @@
+//! Extension experiment. See `bench_support::ablation_prediction`.
+
+fn main() {
+    let args = bench_support::Args::parse();
+    let params = bench_support::ablation_prediction::Params::from_args(&args);
+    bench_support::ablation_prediction::run(&params).emit();
+}

@@ -1,0 +1,7 @@
+//! Extension: reward-design ablation. See `bench_support::ablation_reward`.
+
+fn main() {
+    let args = bench_support::Args::parse();
+    let params = bench_support::ablation_reward::Params::from_args(&args);
+    bench_support::ablation_reward::run(&params).emit();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 10. See `bench_support::fig10_greedy_rate`.
+
+fn main() {
+    let args = bench_support::Args::parse();
+    let params = bench_support::fig10_greedy_rate::Params::from_args(&args);
+    bench_support::fig10_greedy_rate::run(&params).emit();
+}

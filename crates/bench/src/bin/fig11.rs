@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 11. See `bench_support::fig11_width`.
+
+fn main() {
+    let args = bench_support::Args::parse();
+    let params = bench_support::fig11_width::Params::from_args(&args);
+    bench_support::fig11_width::run(&params).emit();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 12. See `bench_support::fig12_overhead`.
+
+fn main() {
+    let args = bench_support::Args::parse();
+    let params = bench_support::fig12_overhead::Params::from_args(&args);
+    bench_support::fig12_overhead::run(&params).emit();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 13. See `bench_support::fig13_aggregation`.
+
+fn main() {
+    let args = bench_support::Args::parse();
+    let params = bench_support::fig13_aggregation::Params::from_args(&args);
+    bench_support::fig13_aggregation::run(&params).emit();
+}

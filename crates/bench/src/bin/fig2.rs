@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 2. See `bench_support::fig2_histogram`.
+
+fn main() {
+    let args = bench_support::Args::parse();
+    let params = bench_support::fig2_histogram::Params::from_args(&args);
+    bench_support::fig2_histogram::run(&params).emit();
+}

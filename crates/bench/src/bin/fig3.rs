@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 3. See `bench_support::fig3_savings`.
+
+fn main() {
+    let args = bench_support::Args::parse();
+    let params = bench_support::fig3_savings::Params::from_args(&args);
+    bench_support::fig3_savings::run(&params).emit();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 4. See `bench_support::fig4_prediction`.
+
+fn main() {
+    let args = bench_support::Args::parse();
+    let params = bench_support::fig4_prediction::Params::from_args(&args);
+    bench_support::fig4_prediction::run(&params).emit();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 7. See `bench_support::fig7_total_cost`.
+
+fn main() {
+    let args = bench_support::Args::parse();
+    let params = bench_support::fig7_total_cost::Params::from_args(&args);
+    bench_support::fig7_total_cost::run(&params).emit();
+}

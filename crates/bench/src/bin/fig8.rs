@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 8. See `bench_support::fig8_bucket_cost`.
+
+fn main() {
+    let args = bench_support::Args::parse();
+    let params = bench_support::fig7_total_cost::Params::from_args(&args);
+    bench_support::fig8_bucket_cost::run(&params).emit();
+}

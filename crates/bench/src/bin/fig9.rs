@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 9. See `bench_support::fig9_learning_rate`.
+
+fn main() {
+    let args = bench_support::Args::parse();
+    let params = bench_support::fig9_learning_rate::Params::from_args(&args);
+    bench_support::fig9_learning_rate::run(&params).emit();
+}

@@ -1,0 +1,143 @@
+//! Tabular experiment reports: printed to stdout and persisted as CSV under
+//! `results/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One experiment's output table plus free-form notes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// Experiment identifier (`"fig7"`, ...) — names the CSV file.
+    pub name: String,
+    /// A one-line description printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Table rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+    /// Interpretation notes printed after the table (paper comparison).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(name: &str, title: &str, header: &[&str]) -> Report {
+        Report {
+            name: name.to_owned(),
+            title: title.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the width differs from the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders the table as aligned text.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.name, self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("-- {note}\n"));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_table());
+    }
+
+    /// Writes the table as `results/<name>.csv` under `dir`.
+    ///
+    /// Returns the written path.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut file = fs::File::create(&path)?;
+        writeln!(file, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(file, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+
+    /// Prints and persists to the workspace-standard `results/` directory.
+    pub fn emit(&self) {
+        self.print();
+        match self.write_csv(Path::new("results")) {
+            Ok(path) => println!("-- wrote {}\n", path.display()),
+            Err(e) => eprintln!("-- could not write CSV: {e}\n"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("figX", "demo", &["day", "cost"]);
+        r.push_row(vec!["7".into(), "1.25".into()]);
+        r.push_row(vec!["14".into(), "2.50".into()]);
+        r.note("shape matches");
+        r
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let t = sample().to_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains("day"));
+        assert!(t.contains("1.25"));
+        assert!(t.contains("-- shape matches"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join(format!("minicost-report-{}", std::process::id()));
+        let path = sample().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "day,cost\n7,1.25\n14,2.50\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_row_panics() {
+        let mut r = Report::new("x", "y", &["a", "b"]);
+        r.push_row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,207 @@
+//! `minicost` — the command-line front end.
+//!
+//! ```text
+//! minicost generate --files 5000 --days 35 --seed 7 --out trace.csv
+//! minicost analyze  --trace trace.csv
+//! minicost train    --trace trace.csv --updates 100000 --width 32 --out agent.json
+//! minicost evaluate --trace trace.csv --agent agent.json
+//! ```
+//!
+//! `generate` writes a synthetic calibrated trace (or bring your own CSV in
+//! the `tracegen::io` interchange format, e.g. converted from a real
+//! pagecounts dump); `analyze` prints the Fig. 2 variability histogram;
+//! `train` fits a MiniCost agent on the 80% split and saves it as JSON;
+//! `evaluate` compares Hot/Cold/Greedy/MiniCost/Optimal on the 20% split.
+
+use minicost::prelude::*;
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(args) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => generate(&flags),
+        "analyze" => analyze(&flags),
+        "train" => train(&flags),
+        "evaluate" => evaluate(&flags),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  minicost generate --files N --days D [--seed S] --out trace.csv
+  minicost analyze  --trace trace.csv
+  minicost train    --trace trace.csv [--updates U] [--width W] [--seed S] \\
+                    [--pricing paper|azure|aws] --out agent.json
+  minicost evaluate --trace trace.csv --agent agent.json [--pricing ...]";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: impl Iterator<Item = String>) -> Result<Flags, String> {
+    let mut flags = HashMap::new();
+    let mut args = args.peekable();
+    while let Some(key) = args.next() {
+        let name = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {key:?}"))?;
+        let value = args.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_owned(), value);
+    }
+    Ok(flags)
+}
+
+fn flag<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("--{name} {v:?}: {e}")),
+    }
+}
+
+fn required<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("--{name} is required"))
+}
+
+fn pricing(flags: &Flags) -> Result<CostModel, String> {
+    let name = flags.get("pricing").map_or("paper", String::as_str);
+    let policy = match name {
+        "paper" => PricingPolicy::paper_2020(),
+        "azure" => PricingPolicy::azure_blob_2020(),
+        "aws" => PricingPolicy::aws_s3_like(),
+        other => return Err(format!("unknown pricing {other:?} (paper|azure|aws)")),
+    };
+    Ok(CostModel::new(policy))
+}
+
+fn load_trace(flags: &Flags) -> Result<Trace, String> {
+    let path = required(flags, "trace")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    tracegen::io::read_csv(file).map_err(|e| e.to_string())
+}
+
+fn generate(flags: &Flags) -> Result<(), String> {
+    let cfg = TraceConfig {
+        files: flag(flags, "files", 5_000usize)?,
+        days: flag(flags, "days", 35usize)?,
+        seed: flag(flags, "seed", 2020u64)?,
+        ..TraceConfig::default()
+    };
+    cfg.validate()?;
+    let out = required(flags, "out")?;
+    let trace = Trace::generate(&cfg);
+    let file = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+    tracegen::io::write_csv(&trace, file).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} files x {} days to {out} ({:.1}M reads)",
+        trace.len(),
+        trace.days,
+        trace.total_reads() as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn analyze(flags: &Flags) -> Result<(), String> {
+    let trace = load_trace(flags)?;
+    let summary = tracegen::analysis::summarize(&trace);
+    println!(
+        "{} files x {} days | mean daily reads {:.1} (peak {:.0}) | mean size {:.3} GB",
+        summary.files, summary.days, summary.mean_daily_reads, summary.peak_daily_reads,
+        summary.mean_size_gb
+    );
+    let hist = tracegen::analysis::bucket_histogram(&trace);
+    let fractions = hist.fractions();
+    println!("variability buckets (normalized daily std):");
+    for (i, label) in tracegen::analysis::CV_BUCKET_LABELS.iter().enumerate() {
+        println!("  {label:>8}: {:>8} files ({:.2}%)", hist.counts[i], fractions[i] * 100.0);
+    }
+    Ok(())
+}
+
+fn train(flags: &Flags) -> Result<(), String> {
+    let trace = load_trace(flags)?;
+    let model = pricing(flags)?;
+    let out = required(flags, "out")?;
+    let mut cfg = MiniCostConfig::fast();
+    cfg.width = flag(flags, "width", 32usize)?;
+    cfg.a3c.total_updates = flag(flags, "updates", 50_000u64)?;
+    cfg.a3c.workers = flag(flags, "workers", 4usize)?;
+    cfg.a3c.seed = flag(flags, "seed", 0u64)?;
+    let split = trace.split(0.8, cfg.a3c.seed);
+    eprintln!(
+        "training on {} files for {} updates (width {}) ...",
+        split.train.len(),
+        cfg.a3c.total_updates,
+        cfg.width
+    );
+    let agent = MiniCost::train(&split.train, &model, &cfg);
+    agent.save(Path::new(out)).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "saved agent to {out} (final optimal-action rate: {})",
+        agent
+            .final_optimal_rate()
+            .map_or_else(|| "n/a".into(), |r| format!("{:.1}%", r * 100.0))
+    );
+    Ok(())
+}
+
+fn evaluate(flags: &Flags) -> Result<(), String> {
+    let trace = load_trace(flags)?;
+    let model = pricing(flags)?;
+    let agent_path = required(flags, "agent")?;
+    let agent = MiniCost::load(Path::new(agent_path)).map_err(|e| format!("{agent_path}: {e}"))?;
+    let seed = flag(flags, "seed", 0u64)?;
+    let split = trace.split(0.8, seed);
+    let test = &split.test;
+    let sim_cfg = SimConfig::default();
+
+    let mut optimal = OptimalPolicy::plan(test, &model, sim_cfg.initial_tier);
+    let runs = vec![
+        simulate(test, &model, &mut HotPolicy, &sim_cfg),
+        simulate(test, &model, &mut ColdPolicy, &sim_cfg),
+        simulate(test, &model, &mut GreedyPolicy, &sim_cfg),
+        simulate(test, &model, &mut agent.policy(), &sim_cfg),
+        simulate(test, &model, &mut optimal, &sim_cfg),
+    ];
+    let reference = runs.last().expect("non-empty").total_cost();
+    println!(
+        "{} held-out files x {} days under {}:",
+        test.len(),
+        test.days,
+        model.policy().name
+    );
+    println!("{:<10} {:>14} {:>11} {:>9}", "policy", "total cost", "vs optimal", "changes");
+    for run in &runs {
+        println!(
+            "{:<10} {:>14} {:>10.3}x {:>9}",
+            run.policy_name,
+            run.total_cost().to_string(),
+            run.total_cost().as_dollars() / reference.as_dollars(),
+            run.tier_changes
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! # MiniCost
+//!
+//! A reproduction of *"A Reinforcement Learning Based System for Minimizing
+//! Cloud Storage Service Cost"* (Wang, Shen, Liu, Zheng, Xu — ICPP 2020).
+//!
+//! MiniCost decides, for every data file of a web application stored with a
+//! cloud service provider, which storage tier (hot / cold / archive) the
+//! file should occupy each day, minimizing the customer's total payment —
+//! storage, read/write operations, and tier-change charges (the paper's
+//! Eqs. 5–9). The decision engine is an actor-critic reinforcement-learning
+//! agent trained with asynchronous workers (A3C, §5.1), and an optional
+//! enhancement aggregates concurrently-requested files when the saved
+//! operation charges outweigh the replica storage (§5.2, Eqs. 13–16).
+//!
+//! ## Crate layout
+//!
+//! * [`sim`] — the day-stepping billing simulator; runs any [`policy::Policy`]
+//!   over a trace and produces exact [`pricing::Money`] ledgers.
+//! * [`policy`] — the paper's five comparison strategies: `Hot`, `Cold`,
+//!   `Greedy`, `Optimal` (exact per-file DP; provably the brute-force
+//!   optimum), and the trained `RlPolicy`.
+//! * [`optimal`] — the offline solver and its brute-force cross-check.
+//! * [`features`] / [`mdp`] — state featurization, the Eq. 4 reward, and the
+//!   [`rl::Env`] implementation the agent trains in.
+//! * [`train`] — the end-to-end pipeline: trace → environment → A3C →
+//!   deployable [`policy::RlPolicy`].
+//! * [`aggregate`] — the §5.2 concurrent-request aggregation enhancement.
+//! * [`metrics`] — per-bucket cost attribution and overhead timing.
+//! * [`predictive`] — the forecast-then-optimize planner the paper's §3.2
+//!   argues against, made executable.
+//! * [`multi`] — multi-datacenter placement over `datacenter x tier`
+//!   (the §4.1 generalization).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use minicost::prelude::*;
+//!
+//! // 1. A small synthetic trace calibrated to the paper's Wikipedia stats.
+//! let trace = Trace::generate(&TraceConfig::small(200, 21, 7));
+//! let model = CostModel::new(PricingPolicy::azure_blob_2020());
+//!
+//! // 2. Simulate the always-hot baseline and the exact offline optimum.
+//! let cfg = SimConfig::default();
+//! let hot = simulate(&trace, &model, &mut HotPolicy, &cfg);
+//! let opt = simulate(&trace, &model, &mut OptimalPolicy::plan(&trace, &model, cfg.initial_tier), &cfg);
+//! assert!(opt.total_cost() <= hot.total_cost());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod features;
+pub mod mdp;
+pub mod metrics;
+pub mod multi;
+pub mod optimal;
+pub mod policy;
+pub mod predictive;
+pub mod sim;
+pub mod train;
+
+/// One-stop imports for examples and experiment harnesses.
+pub mod prelude {
+    pub use crate::aggregate::{apply_aggregation, AggregationPlanner, Omega};
+    pub use crate::features::FeatureConfig;
+    pub use crate::mdp::{RewardConfig, RewardKind, TieringEnv, TieringEnvConfig};
+    pub use crate::metrics::{bucket_costs, normalized_costs, OverheadTimer};
+    pub use crate::optimal::{brute_force_plan, optimal_plan, suffix_values};
+    pub use crate::policy::{
+        ColdPolicy, GreedyPolicy, HotPolicy, OptimalPolicy, Policy, RlPolicy, SingleTierPolicy,
+    };
+    pub use crate::multi::{optimal_location_plan, Location, MultiCspModel};
+    pub use crate::predictive::PredictivePolicy;
+    pub use crate::sim::{simulate, SimConfig, SimResult};
+    pub use crate::train::{MiniCost, MiniCostConfig};
+    pub use pricing::{CostModel, Money, PricingPolicy, Tier};
+    pub use tracegen::{Trace, TraceConfig};
+}
+
+pub use prelude::*;

@@ -1,0 +1,149 @@
+//! Experiment metrics: per-bucket cost attribution, normalized-cost tables,
+//! and wall-clock overhead timing (Figs. 7, 8, 12).
+
+use crate::sim::SimResult;
+use pricing::Money;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use tracegen::analysis::{bucket_members, CV_BUCKET_COUNT};
+use tracegen::Trace;
+
+/// Total cost per CV bucket: attributes each file's ledger entry to its
+/// request-frequency-variability bucket (the x-axis of Figs. 3, 4, 8).
+///
+/// Panics if `per_file` does not match the trace's file count.
+#[must_use]
+pub fn bucket_costs(trace: &Trace, per_file: &[Money]) -> [Money; CV_BUCKET_COUNT] {
+    assert_eq!(per_file.len(), trace.files.len(), "ledger/trace mismatch");
+    let members = bucket_members(trace);
+    let mut out = [Money::ZERO; CV_BUCKET_COUNT];
+    for (bucket, files) in members.iter().enumerate() {
+        out[bucket] = files.iter().map(|&ix| per_file[ix]).sum();
+    }
+    out
+}
+
+/// Costs normalized by a reference (the paper's Fig. 7 normalizes by
+/// *Optimal*). Returns `cost / reference` per result; a zero reference maps
+/// to 1.0 when the cost is also zero, `f64::INFINITY` otherwise.
+#[must_use]
+pub fn normalized_costs(results: &[&SimResult], reference: Money) -> Vec<f64> {
+    results
+        .iter()
+        .map(|r| {
+            let cost = r.total_cost();
+            if reference.is_zero() {
+                if cost.is_zero() {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                cost.as_dollars() / reference.as_dollars()
+            }
+        })
+        .collect()
+}
+
+/// An accumulating wall-clock timer for the Fig. 12 overhead measurements.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct OverheadTimer {
+    samples_ms: Vec<f64>,
+}
+
+impl OverheadTimer {
+    /// Creates an empty timer.
+    #[must_use]
+    pub fn new() -> OverheadTimer {
+        OverheadTimer::default()
+    }
+
+    /// Times `f`, records the elapsed milliseconds, and returns its value.
+    pub fn measure<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let value = f();
+        self.samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        value
+    }
+
+    /// Records an externally measured sample.
+    pub fn record_ms(&mut self, ms: f64) {
+        self.samples_ms.push(ms);
+    }
+
+    /// All samples in milliseconds.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples_ms
+    }
+
+    /// Mean milliseconds; 0.0 when empty.
+    #[must_use]
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples_ms.is_empty() {
+            0.0
+        } else {
+            self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
+        }
+    }
+
+    /// Total milliseconds recorded.
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.samples_ms.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::HotPolicy;
+    use crate::sim::{simulate, SimConfig};
+    use pricing::{CostModel, PricingPolicy};
+    use tracegen::TraceConfig;
+
+    #[test]
+    fn bucket_costs_partition_the_total() {
+        let trace = Trace::generate(&TraceConfig::small(100, 21, 4));
+        let model = CostModel::new(PricingPolicy::azure_blob_2020());
+        let result = simulate(&trace, &model, &mut HotPolicy, &SimConfig::default());
+        let buckets = bucket_costs(&trace, &result.per_file);
+        let sum: Money = buckets.iter().sum();
+        assert_eq!(sum, result.total_cost());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn bucket_costs_rejects_wrong_ledger() {
+        let trace = Trace::generate(&TraceConfig::small(5, 7, 4));
+        let _ = bucket_costs(&trace, &[Money::ZERO; 3]);
+    }
+
+    #[test]
+    fn normalized_costs_reference_semantics() {
+        let trace = Trace::generate(&TraceConfig::small(10, 7, 4));
+        let model = CostModel::new(PricingPolicy::azure_blob_2020());
+        let result = simulate(&trace, &model, &mut HotPolicy, &SimConfig::default());
+        let normalized = normalized_costs(&[&result], result.total_cost());
+        assert!((normalized[0] - 1.0).abs() < 1e-12);
+        // Zero reference.
+        let inf = normalized_costs(&[&result], Money::ZERO);
+        assert!(inf[0].is_infinite());
+    }
+
+    #[test]
+    fn overhead_timer_accumulates() {
+        let mut timer = OverheadTimer::new();
+        assert_eq!(timer.mean_ms(), 0.0);
+        let value = timer.measure(|| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            42
+        });
+        assert_eq!(value, 42);
+        timer.record_ms(10.0);
+        assert_eq!(timer.samples().len(), 2);
+        assert!(timer.samples()[0] >= 1.0, "slept ~2ms, got {}", timer.samples()[0]);
+        assert!(timer.total_ms() >= 11.0);
+        assert!(timer.mean_ms() > 0.0);
+    }
+}

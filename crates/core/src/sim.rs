@@ -1,0 +1,291 @@
+//! The day-stepping billing simulator.
+//!
+//! Runs a [`Policy`] over a trace day by day, exactly as the paper's agent
+//! server operates (§5.1: "Everyday, the trained agent runs one time for
+//! all data files, generates the action for each data file in the next
+//! day"): at each decision day the policy assigns every file a tier, tier
+//! changes are charged once (Eq. 9), then the day's storage and operation
+//! costs accrue (Eqs. 6–8). Ledgers are exact integer micro-dollars.
+
+use crate::policy::{DecisionContext, Policy};
+use pricing::{CostBreakdown, CostModel, FileDay, Money, Tier, TIER_COUNT};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use tracegen::Trace;
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Tier every file occupies before day 0 (a day-0 decision that differs
+    /// is charged as a change).
+    pub initial_tier: Tier,
+    /// Run the policy every `decide_every` days; tiers persist in between.
+    /// The paper's agent decides daily (1).
+    pub decide_every: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { initial_tier: Tier::Hot, decide_every: 1 }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Policy that produced the run.
+    pub policy_name: String,
+    /// Aggregate cost components per day.
+    pub daily: Vec<CostBreakdown>,
+    /// Cumulative cost per file over the whole run.
+    pub per_file: Vec<Money>,
+    /// Wall-clock milliseconds spent in `Policy::decide`, one entry per
+    /// decision day (the paper's Fig. 12 "computing overhead").
+    pub decision_millis: Vec<f64>,
+    /// Total number of tier changes applied.
+    pub tier_changes: u64,
+    /// Files resident in each tier at the end of each day
+    /// (`occupancy[day][tier]`), for tier-drift analysis.
+    pub occupancy: Vec<[usize; TIER_COUNT]>,
+}
+
+impl SimResult {
+    /// Total cost across all files and days.
+    #[must_use]
+    pub fn total_cost(&self) -> Money {
+        self.daily.iter().map(CostBreakdown::total).sum()
+    }
+
+    /// Cumulative cost through day `d` inclusive (clamped to the horizon).
+    #[must_use]
+    pub fn cumulative_cost(&self, d: usize) -> Money {
+        self.daily
+            .iter()
+            .take(d.saturating_add(1))
+            .map(CostBreakdown::total)
+            .sum()
+    }
+
+    /// Number of simulated days.
+    #[must_use]
+    pub fn days(&self) -> usize {
+        self.daily.len()
+    }
+
+    /// Total wall-clock milliseconds spent deciding.
+    #[must_use]
+    pub fn total_decision_millis(&self) -> f64 {
+        self.decision_millis.iter().sum()
+    }
+}
+
+/// Runs `policy` over `trace` under `model`.
+///
+/// Panics if the policy returns a tier vector of the wrong length or if
+/// `decide_every == 0`.
+pub fn simulate(
+    trace: &Trace,
+    model: &CostModel,
+    policy: &mut dyn Policy,
+    cfg: &SimConfig,
+) -> SimResult {
+    assert!(cfg.decide_every > 0, "decide_every must be positive");
+    let n = trace.files.len();
+    let mut current = vec![cfg.initial_tier; n];
+    let mut daily = Vec::with_capacity(trace.days);
+    let mut per_file = vec![Money::ZERO; n];
+    let mut decision_millis = Vec::new();
+    let mut tier_changes = 0u64;
+    let mut occupancy = Vec::with_capacity(trace.days);
+
+    for day in 0..trace.days {
+        // Decision phase.
+        let decided = if day % cfg.decide_every == 0 {
+            let ctx = DecisionContext { day, trace, model, current: &current };
+            let start = Instant::now();
+            let decision = policy.decide(&ctx);
+            decision_millis.push(start.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(decision.len(), n, "policy must decide every file");
+            Some(decision)
+        } else {
+            None
+        };
+
+        // Billing phase.
+        let mut breakdown = CostBreakdown::default();
+        for (ix, file) in trace.files.iter().enumerate() {
+            let target = decided.as_ref().map_or(current[ix], |d| d[ix]);
+            let changed_from = if target != current[ix] {
+                tier_changes += 1;
+                Some(current[ix])
+            } else {
+                None
+            };
+            let (reads, writes) = file.day(day);
+            let day_bill = model.day_breakdown(&FileDay {
+                size_gb: file.size_gb,
+                reads,
+                writes,
+                tier: target,
+                changed_from,
+            });
+            per_file[ix] += day_bill.total();
+            breakdown += day_bill;
+            current[ix] = target;
+        }
+        daily.push(breakdown);
+        let mut counts = [0usize; TIER_COUNT];
+        for &tier in &current {
+            counts[tier.index()] += 1;
+        }
+        occupancy.push(counts);
+    }
+
+    SimResult {
+        policy_name: policy.name().to_owned(),
+        daily,
+        per_file,
+        decision_millis,
+        tier_changes,
+        occupancy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ColdPolicy, GreedyPolicy, HotPolicy, OptimalPolicy};
+    use pricing::PricingPolicy;
+    use tracegen::TraceConfig;
+
+    fn setup() -> (Trace, CostModel) {
+        (
+            Trace::generate(&TraceConfig::small(40, 21, 9)),
+            CostModel::new(PricingPolicy::azure_blob_2020()),
+        )
+    }
+
+    #[test]
+    fn hot_policy_never_changes_tiers() {
+        let (trace, model) = setup();
+        let result = simulate(&trace, &model, &mut HotPolicy, &SimConfig::default());
+        assert_eq!(result.tier_changes, 0);
+        assert_eq!(result.days(), 21);
+        assert_eq!(result.per_file.len(), 40);
+        assert_eq!(result.policy_name, "hot");
+        // No change cost component at all.
+        assert!(result.daily.iter().all(|d| d.change == Money::ZERO));
+    }
+
+    #[test]
+    fn cold_policy_changes_once_per_file() {
+        let (trace, model) = setup();
+        // Initial tier is Hot, so day 0 moves every file to Cool exactly once.
+        let result = simulate(&trace, &model, &mut ColdPolicy, &SimConfig::default());
+        assert_eq!(result.tier_changes, 40);
+        assert!(result.daily[0].change > Money::ZERO);
+        assert!(result.daily[1..].iter().all(|d| d.change == Money::ZERO));
+    }
+
+    #[test]
+    fn per_file_ledger_sums_to_daily_ledger() {
+        let (trace, model) = setup();
+        let result = simulate(&trace, &model, &mut GreedyPolicy, &SimConfig::default());
+        let per_file_total: Money = result.per_file.iter().sum();
+        assert_eq!(per_file_total, result.total_cost());
+    }
+
+    #[test]
+    fn simulator_reproduces_optimal_planned_cost() {
+        // The simulator's ledger for OptimalPolicy must equal the DP's own
+        // cost computation exactly — two independent accounting paths.
+        let (trace, model) = setup();
+        let mut opt = OptimalPolicy::plan(&trace, &model, Tier::Hot);
+        let planned = opt.planned_cost;
+        let result = simulate(&trace, &model, &mut opt, &SimConfig::default());
+        assert_eq!(result.total_cost(), planned);
+    }
+
+    #[test]
+    fn optimal_is_cheapest() {
+        let (trace, model) = setup();
+        let cfg = SimConfig::default();
+        let hot = simulate(&trace, &model, &mut HotPolicy, &cfg).total_cost();
+        let cold = simulate(&trace, &model, &mut ColdPolicy, &cfg).total_cost();
+        let greedy = simulate(&trace, &model, &mut GreedyPolicy, &cfg).total_cost();
+        let opt = simulate(
+            &trace,
+            &model,
+            &mut OptimalPolicy::plan(&trace, &model, cfg.initial_tier),
+            &cfg,
+        )
+        .total_cost();
+        assert!(opt <= greedy, "optimal {opt} vs greedy {greedy}");
+        assert!(opt <= hot && opt <= cold);
+        // Greedy at least matches the better static baseline... not
+        // guaranteed in general, but it never loses to *both* since it can
+        // mimic either; assert against the max.
+        assert!(greedy <= hot.max(cold), "greedy {greedy} hot {hot} cold {cold}");
+    }
+
+    #[test]
+    fn occupancy_partitions_the_catalog() {
+        let (trace, model) = setup();
+        let result = simulate(&trace, &model, &mut GreedyPolicy, &SimConfig::default());
+        assert_eq!(result.occupancy.len(), trace.days);
+        for day in &result.occupancy {
+            assert_eq!(day.iter().sum::<usize>(), trace.len());
+        }
+        // Hot policy: everything in hot every day.
+        let hot = simulate(&trace, &model, &mut HotPolicy, &SimConfig::default());
+        assert!(hot.occupancy.iter().all(|d| d[0] == trace.len()));
+    }
+
+    #[test]
+    fn cumulative_cost_is_monotone() {
+        let (trace, model) = setup();
+        let result = simulate(&trace, &model, &mut GreedyPolicy, &SimConfig::default());
+        let mut prev = Money::ZERO;
+        for d in 0..result.days() {
+            let c = result.cumulative_cost(d);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(result.cumulative_cost(10_000), result.total_cost());
+    }
+
+    #[test]
+    fn decide_every_skips_decisions() {
+        let (trace, model) = setup();
+        let cfg = SimConfig { decide_every: 7, ..SimConfig::default() };
+        let result = simulate(&trace, &model, &mut GreedyPolicy, &cfg);
+        // 21 days, deciding on days 0, 7, 14.
+        assert_eq!(result.decision_millis.len(), 3);
+    }
+
+    #[test]
+    fn empty_trace_simulates_to_zero() {
+        let (_, model) = setup();
+        let trace = Trace { days: 0, files: vec![] };
+        let result = simulate(&trace, &model, &mut HotPolicy, &SimConfig::default());
+        assert_eq!(result.total_cost(), Money::ZERO);
+        assert_eq!(result.days(), 0);
+    }
+
+    #[test]
+    fn initial_tier_affects_day_zero_changes() {
+        let (trace, model) = setup();
+        let cfg = SimConfig { initial_tier: Tier::Cool, ..SimConfig::default() };
+        let result = simulate(&trace, &model, &mut ColdPolicy, &cfg);
+        // Already cool: no changes at all.
+        assert_eq!(result.tier_changes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decide_every")]
+    fn zero_decide_every_panics() {
+        let (trace, model) = setup();
+        let cfg = SimConfig { decide_every: 0, ..SimConfig::default() };
+        let _ = simulate(&trace, &model, &mut HotPolicy, &cfg);
+    }
+}

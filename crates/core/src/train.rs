@@ -1,0 +1,268 @@
+//! The end-to-end MiniCost training pipeline:
+//! trace → tiering environment → A3C → deployable [`RlPolicy`].
+
+use crate::features::{FeatureConfig, EXTRA_FEATURES};
+use crate::mdp::{RewardConfig, TieringEnv, TieringEnvConfig};
+use crate::policy::RlPolicy;
+use pricing::{CostModel, TIER_COUNT};
+use rl::{A3cConfig, A3cTrainer, NetSpec, TrainResult};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use tracegen::Trace;
+
+/// Configuration of a full MiniCost training run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MiniCostConfig {
+    /// State featurization (history window).
+    pub features: FeatureConfig,
+    /// Network width: filter count and hidden neurons (paper: 128 each;
+    /// Fig. 11 sweeps {4, 16, 32, 64, 128}).
+    pub width: usize,
+    /// Conv kernel size (paper: 4).
+    pub kernel: usize,
+    /// Conv stride (paper: 1).
+    pub stride: usize,
+    /// Reward shaping (Eq. 4 parameters).
+    pub reward: RewardConfig,
+    /// Decisions per training episode (paper's weekly period: 7).
+    pub episode_len: usize,
+    /// A3C hyperparameters.
+    pub a3c: A3cConfig,
+}
+
+impl Default for MiniCostConfig {
+    fn default() -> Self {
+        MiniCostConfig {
+            features: FeatureConfig::default(),
+            width: 128,
+            kernel: 4,
+            stride: 1,
+            reward: RewardConfig::default(),
+            episode_len: 7,
+            a3c: A3cConfig::default(),
+        }
+    }
+}
+
+impl MiniCostConfig {
+    /// A small, fast configuration for tests and CI-scale experiments:
+    /// 16-wide networks, a short training budget, and the tuned recipe the
+    /// experiment harness uses (shaped-regret reward, oracle-guided A3C;
+    /// see DESIGN.md §4).
+    #[must_use]
+    pub fn fast() -> MiniCostConfig {
+        MiniCostConfig {
+            width: 16,
+            reward: RewardConfig { cap: 50.0, ..RewardConfig::shaped() },
+            a3c: A3cConfig {
+                workers: 2,
+                total_updates: 400,
+                rollout_len: 32,
+                batch_size: 32,
+                learning_rate: 0.001,
+                entropy_coeff: 0.01,
+                gamma: 0.0,
+                normalize_advantages: false,
+                critic_baseline: false,
+                imitation_coeff: 1.0,
+                ..A3cConfig::default()
+            },
+            ..MiniCostConfig::default()
+        }
+    }
+
+    /// The [`NetSpec`] this configuration induces.
+    #[must_use]
+    pub fn net_spec(&self) -> NetSpec {
+        NetSpec {
+            window: self.features.window,
+            channels: FeatureConfig::CHANNELS,
+            extras: EXTRA_FEATURES,
+            filters: self.width,
+            kernel: self.kernel,
+            stride: self.stride,
+            hidden: self.width,
+            actions: TIER_COUNT,
+        }
+    }
+}
+
+/// A trained MiniCost agent.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MiniCost {
+    /// The raw A3C training result (parameters + progress curves).
+    pub result: TrainResult,
+    /// The featurization the policy was trained with.
+    pub features: FeatureConfig,
+}
+
+impl MiniCost {
+    /// Trains an agent on `trace` (the 80% training split in the paper's
+    /// setup) under `model`'s pricing.
+    #[must_use]
+    pub fn train(trace: &Trace, model: &CostModel, cfg: &MiniCostConfig) -> MiniCost {
+        let spec = cfg.net_spec();
+        let trace = Arc::new(trace.clone());
+        let model = Arc::new(model.clone());
+        let env_cfg_base = TieringEnvConfig {
+            features: cfg.features,
+            reward: cfg.reward,
+            episode_len: cfg.episode_len,
+            seed: cfg.a3c.seed,
+            with_oracle: true,
+        };
+        let trainer = A3cTrainer::new(spec, cfg.a3c.clone());
+        let result = trainer.train(|worker| {
+            TieringEnv::new(
+                Arc::clone(&trace),
+                Arc::clone(&model),
+                TieringEnvConfig {
+                    seed: env_cfg_base.seed ^ ((worker as u64 + 1) << 32),
+                    ..env_cfg_base.clone()
+                },
+            )
+        });
+        MiniCost { result, features: cfg.features }
+    }
+
+    /// The deployable greedy policy built from the trained actor.
+    #[must_use]
+    pub fn policy(&self) -> RlPolicy {
+        RlPolicy::new(&self.result, self.features)
+    }
+
+    /// Persists the trained agent as JSON.
+    ///
+    /// # Errors
+    /// Propagates filesystem and serialization errors.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads an agent persisted by [`MiniCost::save`].
+    ///
+    /// # Errors
+    /// Propagates filesystem and deserialization errors.
+    pub fn load(path: &std::path::Path) -> std::io::Result<MiniCost> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+
+    /// Final optimal-action rate observed during training, if recorded.
+    #[must_use]
+    pub fn final_optimal_rate(&self) -> Option<f64> {
+        self.result
+            .progress
+            .iter()
+            .rev()
+            .find_map(|p| p.optimal_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{HotPolicy, OptimalPolicy, Policy};
+    use crate::sim::{simulate, SimConfig};
+    use pricing::{PricingPolicy, Tier};
+    use tracegen::TraceConfig;
+
+    fn setup() -> (Trace, CostModel) {
+        (
+            Trace::generate(&TraceConfig::small(60, 28, 17)),
+            CostModel::new(PricingPolicy::azure_blob_2020()),
+        )
+    }
+
+    #[test]
+    fn fast_config_is_valid() {
+        let cfg = MiniCostConfig::fast();
+        assert!(cfg.a3c.validate().is_ok());
+        let spec = cfg.net_spec();
+        assert_eq!(spec.state_dim(), cfg.features.state_dim());
+        assert_eq!(spec.actions, 3);
+    }
+
+    #[test]
+    fn training_produces_a_working_policy() {
+        let (trace, model) = setup();
+        let cfg = MiniCostConfig::fast();
+        let agent = MiniCost::train(&trace, &model, &cfg);
+        assert!(agent.result.updates >= cfg.a3c.total_updates);
+        assert!(agent.final_optimal_rate().is_some());
+
+        // The trained policy must run end-to-end through the simulator.
+        let mut policy = agent.policy();
+        let sim_cfg = SimConfig::default();
+        let result = simulate(&trace, &model, &mut policy, &sim_cfg);
+        assert_eq!(result.days(), trace.days);
+        assert_eq!(result.policy_name, "minicost");
+
+        // Sanity (not a tight bound at this tiny training budget): the
+        // learned policy should not be wildly worse than always-hot, and
+        // can never beat Optimal.
+        let hot = simulate(&trace, &model, &mut HotPolicy, &sim_cfg).total_cost();
+        let opt = simulate(
+            &trace,
+            &model,
+            &mut OptimalPolicy::plan(&trace, &model, Tier::Hot),
+            &sim_cfg,
+        )
+        .total_cost();
+        assert!(result.total_cost() >= opt);
+        assert!(
+            result.total_cost().as_dollars() <= 3.0 * hot.as_dollars(),
+            "rl {} vs hot {hot}",
+            result.total_cost()
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_with_one_worker() {
+        let (trace, model) = setup();
+        let mut cfg = MiniCostConfig::fast();
+        cfg.a3c.workers = 1;
+        cfg.a3c.total_updates = 50;
+        let a = MiniCost::train(&trace, &model, &cfg);
+        let b = MiniCost::train(&trace, &model, &cfg);
+        assert_eq!(a.result.actor_params, b.result.actor_params);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let (trace, model) = setup();
+        let mut cfg = MiniCostConfig::fast();
+        cfg.a3c.workers = 1;
+        cfg.a3c.total_updates = 20;
+        let agent = MiniCost::train(&trace, &model, &cfg);
+        let path = std::env::temp_dir().join(format!("minicost-agent-{}.json", std::process::id()));
+        agent.save(&path).unwrap();
+        let back = MiniCost::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(agent.result.actor_params, back.result.actor_params);
+        assert!(MiniCost::load(std::path::Path::new("/nonexistent/agent.json")).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_of_trained_agent() {
+        let (trace, model) = setup();
+        let mut cfg = MiniCostConfig::fast();
+        cfg.a3c.workers = 1;
+        cfg.a3c.total_updates = 20;
+        let agent = MiniCost::train(&trace, &model, &cfg);
+        let json = serde_json::to_string(&agent).unwrap();
+        let back: MiniCost = serde_json::from_str(&json).unwrap();
+        assert_eq!(agent.result.actor_params, back.result.actor_params);
+        // The round-tripped agent yields the same decisions.
+        let mut p1 = agent.policy();
+        let mut p2 = back.policy();
+        let ctx = crate::policy::DecisionContext {
+            day: 10,
+            trace: &trace,
+            model: &model,
+            current: &vec![Tier::Hot; trace.len()],
+        };
+        assert_eq!(p1.decide(&ctx), p2.decide(&ctx));
+    }
+}

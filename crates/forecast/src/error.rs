@@ -1,0 +1,147 @@
+//! Prediction-error metrics for the Fig. 4 analysis.
+//!
+//! The paper measures `(true - predicted) / true` per file per day and
+//! reports the 1st percentile, median, and 99th percentile per CV bucket.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's relative prediction error: `(true - predicted) / true`.
+///
+/// When the true value is zero the ratio is undefined; this returns the
+/// absolute error instead (predicted 0 on true 0 is a perfect 0.0), which
+/// keeps idle files from producing infinities in the percentile summaries.
+#[must_use]
+pub fn relative_error(true_value: f64, predicted: f64) -> f64 {
+    if true_value == 0.0 {
+        predicted.abs()
+    } else {
+        (true_value - predicted) / true_value
+    }
+}
+
+/// Percentile summary of a set of errors (1% / 50% / 99%, as in Fig. 4).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSummary {
+    /// 1st percentile.
+    pub p01: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Number of error samples summarized.
+    pub count: usize,
+}
+
+impl ErrorSummary {
+    /// Summarizes `errors`; returns `None` when empty.
+    #[must_use]
+    pub fn from_errors(errors: &[f64]) -> Option<ErrorSummary> {
+        if errors.is_empty() {
+            return None;
+        }
+        let mut sorted = errors.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN error sample"));
+        let pick = |q: f64| {
+            let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+            sorted[rank]
+        };
+        Some(ErrorSummary { p01: pick(0.01), p50: pick(0.50), p99: pick(0.99), count: errors.len() })
+    }
+
+    /// The widest absolute deviation among the summarized percentiles —
+    /// a scalar "how bad can it get" used in harness tables.
+    #[must_use]
+    pub fn spread(&self) -> f64 {
+        self.p01.abs().max(self.p99.abs())
+    }
+}
+
+/// Computes per-step relative errors of a forecast against the truth.
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn forecast_errors(truth: &[f64], predicted: &[f64]) -> Vec<f64> {
+    assert_eq!(truth.len(), predicted.len(), "length mismatch");
+    truth
+        .iter()
+        .zip(predicted)
+        .map(|(&t, &p)| relative_error(t, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relative_error_signs() {
+        // Over-prediction: negative error (paper's convention).
+        assert_eq!(relative_error(10.0, 15.0), -0.5);
+        // Under-prediction: positive error.
+        assert_eq!(relative_error(10.0, 5.0), 0.5);
+        // Perfect: zero.
+        assert_eq!(relative_error(10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn zero_truth_uses_absolute_error() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(0.0, 3.0), 3.0);
+        assert_eq!(relative_error(0.0, -3.0), 3.0);
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let errors: Vec<f64> = (0..101).map(|i| i as f64 / 100.0).collect();
+        let s = ErrorSummary::from_errors(&errors).unwrap();
+        assert!((s.p01 - 0.01).abs() < 1e-9);
+        assert!((s.p50 - 0.50).abs() < 1e-9);
+        assert!((s.p99 - 0.99).abs() < 1e-9);
+        assert_eq!(s.count, 101);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert_eq!(ErrorSummary::from_errors(&[]), None);
+    }
+
+    #[test]
+    fn summary_of_singleton() {
+        let s = ErrorSummary::from_errors(&[0.25]).unwrap();
+        assert_eq!((s.p01, s.p50, s.p99), (0.25, 0.25, 0.25));
+        assert_eq!(s.spread(), 0.25);
+    }
+
+    #[test]
+    fn forecast_errors_pairs_up() {
+        let e = forecast_errors(&[10.0, 20.0], &[5.0, 25.0]);
+        assert_eq!(e, vec![0.5, -0.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn forecast_errors_rejects_mismatched_lengths() {
+        let _ = forecast_errors(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn percentiles_are_ordered(
+            errors in proptest::collection::vec(-10.0f64..10.0, 1..200),
+        ) {
+            let s = ErrorSummary::from_errors(&errors).unwrap();
+            prop_assert!(s.p01 <= s.p50);
+            prop_assert!(s.p50 <= s.p99);
+            prop_assert!(s.spread() >= 0.0);
+        }
+
+        #[test]
+        fn perfect_forecast_has_zero_errors(
+            truth in proptest::collection::vec(0.0f64..100.0, 1..50),
+        ) {
+            let errors = forecast_errors(&truth, &truth);
+            prop_assert!(errors.iter().all(|&e| e == 0.0));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Minimal dense linear algebra for least-squares fitting.
+//!
+//! ARIMA fitting reduces to solving small normal-equation systems
+//! (dimension = p + q, typically ≤ 10), so a straightforward
+//! partial-pivoting Gaussian elimination is both sufficient and exact
+//! enough. Kept in its own module so `arima` stays readable.
+
+/// Solves `A x = b` for square `A` (row-major, `n x n`) by Gaussian
+/// elimination with partial pivoting.
+///
+/// Returns `None` when the system is (numerically) singular — callers fall
+/// back to simpler models in that case.
+#[must_use]
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "A must be n x n");
+    assert_eq!(b.len(), n, "b must have length n");
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: largest |value| in this column at or below the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                m[r1 * n + col]
+                    .abs()
+                    .partial_cmp(&m[r2 * n + col].abs())
+                    .expect("NaN in linear system")
+            })
+            .expect("non-empty pivot range");
+        let pivot = m[pivot_row * n + col];
+        if pivot.abs() < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot_row * n + k);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        for row in (col + 1)..n {
+            let factor = m[row * n + col] / m[col * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..n {
+            acc -= m[row * n + k] * x[k];
+        }
+        x[row] = acc / m[row * n + row];
+    }
+    Some(x)
+}
+
+/// Solves the least-squares problem `min ||X beta - y||^2` via the normal
+/// equations `X^T X beta = X^T y`, with a small ridge term for numerical
+/// stability on nearly collinear designs.
+///
+/// `x` is row-major with `rows` rows and `cols` columns. Returns `None` when
+/// the normal equations are singular even after regularization.
+#[must_use]
+pub fn least_squares(x: &[f64], y: &[f64], rows: usize, cols: usize) -> Option<Vec<f64>> {
+    assert_eq!(x.len(), rows * cols, "X dimensions mismatch");
+    assert_eq!(y.len(), rows, "y length mismatch");
+    if cols == 0 {
+        return Some(Vec::new());
+    }
+    if rows < cols {
+        return None;
+    }
+    let mut xtx = vec![0.0; cols * cols];
+    let mut xty = vec![0.0; cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            xty[i] += row[i] * y[r];
+            for j in i..cols {
+                xtx[i * cols + j] += row[i] * row[j];
+            }
+        }
+    }
+    // Mirror the upper triangle and add a tiny ridge.
+    let ridge = 1e-8
+        * (0..cols)
+            .map(|i| xtx[i * cols + i])
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+    for i in 0..cols {
+        for j in 0..i {
+            xtx[i * cols + j] = xtx[j * cols + i];
+        }
+        xtx[i * cols + i] += ridge;
+    }
+    solve(&xtx, &xty, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(solve(&a, &b, 2), Some(vec![3.0, 4.0]));
+    }
+
+    #[test]
+    fn solves_2x2() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+        let a = vec![2.0, 1.0, 1.0, -1.0];
+        let b = vec![5.0, 1.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_with_pivoting_required() {
+        // Leading zero forces a row swap.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let b = vec![7.0, 9.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        let b = vec![1.0, 2.0];
+        assert_eq!(solve(&a, &b, 2), None);
+    }
+
+    #[test]
+    fn empty_system() {
+        assert_eq!(solve(&[], &[], 0), Some(vec![]));
+        assert_eq!(least_squares(&[], &[], 0, 0), Some(vec![]));
+    }
+
+    #[test]
+    fn least_squares_exact_fit() {
+        // y = 2*x1 + 3*x2, overdetermined but consistent.
+        let x = vec![
+            1.0, 0.0, //
+            0.0, 1.0, //
+            1.0, 1.0, //
+            2.0, 1.0,
+        ];
+        let y = vec![2.0, 3.0, 5.0, 7.0];
+        let beta = least_squares(&x, &y, 4, 2).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-5, "beta0 {}", beta[0]);
+        assert!((beta[1] - 3.0).abs() < 1e-5, "beta1 {}", beta[1]);
+    }
+
+    #[test]
+    fn least_squares_underdetermined_returns_none() {
+        let x = vec![1.0, 2.0, 3.0]; // 1 row, 3 cols
+        assert_eq!(least_squares(&x, &[1.0], 1, 3), None);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Noisy line: fitted slope must beat slope±0.5 in residual norm.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let noise = [0.3, -0.2, 0.1, -0.4, 0.2];
+        let y: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 1.5 * x + noise[i % noise.len()])
+            .collect();
+        let design: Vec<f64> = xs.clone();
+        let beta = least_squares(&design, &y, 20, 1).unwrap();
+        let rss = |slope: f64| -> f64 {
+            xs.iter().zip(&y).map(|(&x, &yy)| (yy - slope * x).powi(2)).sum()
+        };
+        assert!(rss(beta[0]) <= rss(beta[0] + 0.5));
+        assert!(rss(beta[0]) <= rss(beta[0] - 0.5));
+        assert!((beta[0] - 1.5).abs() < 0.05);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_multiply_recovers_b(
+            vals in proptest::collection::vec(-5.0f64..5.0, 9),
+            b in proptest::collection::vec(-5.0f64..5.0, 3),
+        ) {
+            // Make the matrix diagonally dominant so it's well-conditioned.
+            let mut a = vals.clone();
+            for i in 0..3 {
+                a[i * 3 + i] += 20.0;
+            }
+            let x = solve(&a, &b, 3).expect("diagonally dominant is nonsingular");
+            for i in 0..3 {
+                let recovered: f64 = (0..3).map(|j| a[i * 3 + j] * x[j]).sum();
+                prop_assert!((recovered - b[i]).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Series utilities: differencing, integration, and autocovariance.
+
+/// First difference applied `d` times. Each application shortens the series
+/// by one; returns an empty vector when the series is too short.
+#[must_use]
+pub fn difference(series: &[f64], d: usize) -> Vec<f64> {
+    let mut current = series.to_vec();
+    for _ in 0..d {
+        if current.len() < 2 {
+            return Vec::new();
+        }
+        current = current.windows(2).map(|w| w[1] - w[0]).collect();
+    }
+    current
+}
+
+/// Inverts `d` rounds of differencing for a block of forecasts.
+///
+/// `tails[k]` must hold the last value of the series after `k` rounds of
+/// differencing (so `tails[0]` is the last original observation and
+/// `tails[d-1]` the last value of the `(d-1)`-times differenced series).
+/// Given forecasts on the `d`-times differenced scale, returns forecasts on
+/// the original scale.
+#[must_use]
+pub fn undifference(forecasts: &[f64], tails: &[f64]) -> Vec<f64> {
+    let mut current = forecasts.to_vec();
+    for &tail in tails.iter().rev() {
+        let mut acc = tail;
+        for value in &mut current {
+            acc += *value;
+            *value = acc;
+        }
+    }
+    current
+}
+
+/// The last values of the 0..d-times differenced series, as needed by
+/// [`undifference`]. Returns `None` when the series is too short to
+/// difference `d` times.
+#[must_use]
+pub fn difference_tails(series: &[f64], d: usize) -> Option<Vec<f64>> {
+    let mut tails = Vec::with_capacity(d);
+    let mut current = series.to_vec();
+    for _ in 0..d {
+        let &last = current.last()?;
+        tails.push(last);
+        if current.len() < 2 {
+            return None;
+        }
+        current = current.windows(2).map(|w| w[1] - w[0]).collect();
+    }
+    Some(tails)
+}
+
+/// Arithmetic mean; 0.0 for an empty series.
+#[must_use]
+pub fn mean(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        0.0
+    } else {
+        series.iter().sum::<f64>() / series.len() as f64
+    }
+}
+
+/// Sample autocovariance at `lag` (biased, `1/n` normalization, the standard
+/// choice for Yule–Walker systems).
+#[must_use]
+pub fn autocovariance(series: &[f64], lag: usize) -> f64 {
+    let n = series.len();
+    if lag >= n {
+        return 0.0;
+    }
+    let mu = mean(series);
+    let mut acc = 0.0;
+    for t in lag..n {
+        acc += (series[t] - mu) * (series[t - lag] - mu);
+    }
+    acc / n as f64
+}
+
+/// Autocorrelation at `lag` (autocovariance normalized by variance);
+/// 0.0 for constant series.
+#[must_use]
+pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    let var = autocovariance(series, 0);
+    if var <= 0.0 {
+        0.0
+    } else {
+        autocovariance(series, lag) / var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn difference_once() {
+        assert_eq!(difference(&[1.0, 3.0, 6.0, 10.0], 1), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn difference_twice() {
+        assert_eq!(difference(&[1.0, 3.0, 6.0, 10.0], 2), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn difference_zero_is_identity() {
+        assert_eq!(difference(&[5.0, 7.0], 0), vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn difference_short_series_is_empty() {
+        assert_eq!(difference(&[1.0], 1), Vec::<f64>::new());
+        assert_eq!(difference(&[], 1), Vec::<f64>::new());
+        assert_eq!(difference(&[1.0, 2.0], 2), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn tails_capture_each_level() {
+        let s = [1.0, 3.0, 6.0, 10.0];
+        // level 0 last: 10; level 1 series [2,3,4] last: 4
+        assert_eq!(difference_tails(&s, 2), Some(vec![10.0, 4.0]));
+        assert_eq!(difference_tails(&s, 0), Some(vec![]));
+        assert_eq!(difference_tails(&[], 1), None);
+    }
+
+    #[test]
+    fn undifference_inverts_difference() {
+        let s = [1.0, 3.0, 6.0, 10.0, 15.0, 21.0];
+        for d in 0..3usize {
+            // Treat the last `h` differenced values as "forecasts" and verify
+            // reconstruction matches the original tail.
+            let h = 2;
+            let head = &s[..s.len() - h];
+            let diffed_full = difference(&s, d);
+            let tail_forecasts = &diffed_full[diffed_full.len() - h..];
+            let tails = difference_tails(head, d).unwrap();
+            let rebuilt = undifference(tail_forecasts, &tails);
+            for (r, expected) in rebuilt.iter().zip(&s[s.len() - h..]) {
+                assert!((r - expected).abs() < 1e-9, "d={d}: {r} vs {expected}");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn autocovariance_lag_zero_is_variance() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        let mu = 2.5;
+        let var: f64 = s.iter().map(|x: &f64| (x - mu).powi(2)).sum::<f64>() / 4.0;
+        assert!((autocovariance(&s, 0) - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_bounds_and_degenerates() {
+        let s = [5.0, 5.0, 5.0];
+        assert_eq!(autocorrelation(&s, 1), 0.0);
+        let alternating = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        assert!(autocorrelation(&alternating, 1) < 0.0);
+        assert_eq!(autocovariance(&alternating, 10), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn undifference_roundtrip(
+            s in proptest::collection::vec(-100.0f64..100.0, 5..30),
+            d in 0usize..3,
+        ) {
+            let h = 2usize;
+            prop_assume!(s.len() > h + d + 1);
+            let head = &s[..s.len() - h];
+            let diffed = difference(&s, d);
+            prop_assume!(diffed.len() >= h);
+            let forecasts = &diffed[diffed.len() - h..];
+            let tails = difference_tails(head, d).unwrap();
+            let rebuilt = undifference(forecasts, &tails);
+            for (r, expected) in rebuilt.iter().zip(&s[s.len() - h..]) {
+                prop_assert!((r - expected).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn autocorrelation_is_at_most_one(
+            s in proptest::collection::vec(-50.0f64..50.0, 3..40),
+            lag in 0usize..5,
+        ) {
+            let rho = autocorrelation(&s, lag);
+            prop_assert!(rho.abs() <= 1.0 + 1e-9);
+        }
+    }
+}

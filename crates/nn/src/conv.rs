@@ -1,0 +1,452 @@
+//! 1-D convolution, and the conv-plus-passthrough branch layer that mirrors
+//! the paper's architecture ("128 filters, each of size 4 with stride 1.
+//! Results from these layers are then aggregated with other inputs in a
+//! hidden layer", §6.1).
+
+use crate::init::glorot_uniform;
+use crate::layer::Layer;
+use crate::matrix::Matrix;
+
+/// A 1-D convolution layer.
+///
+/// Input rows are channel-major: `[ch0 t0..t(L-1), ch1 t0.., ...]` with
+/// `L = input_len`. Output rows are filter-major:
+/// `[f0 p0..p(P-1), f1 p0.., ...]` with `P = output_len()`. Weights flatten
+/// as `[filters row-major (each `in_channels * kernel`), biases]`.
+#[derive(Clone, Debug)]
+pub struct Conv1d {
+    in_channels: usize,
+    input_len: usize,
+    filters: usize,
+    kernel: usize,
+    stride: usize,
+    /// `filters x (in_channels * kernel)`.
+    weights: Matrix,
+    bias: Vec<f64>,
+    grad_weights: Matrix,
+    grad_bias: Vec<f64>,
+    last_input: Matrix,
+}
+
+impl Conv1d {
+    /// Creates a Conv1d. Panics when the geometry is inconsistent
+    /// (`kernel > input_len`, zero stride, zero dims).
+    #[must_use]
+    pub fn new(
+        in_channels: usize,
+        input_len: usize,
+        filters: usize,
+        kernel: usize,
+        stride: usize,
+        seed: u64,
+    ) -> Conv1d {
+        assert!(in_channels > 0 && input_len > 0 && filters > 0, "dims must be positive");
+        assert!(kernel > 0 && kernel <= input_len, "kernel must fit the input");
+        assert!(stride > 0, "stride must be positive");
+        let fan_in = in_channels * kernel;
+        let w = glorot_uniform(fan_in, filters, filters * fan_in, seed);
+        Conv1d {
+            in_channels,
+            input_len,
+            filters,
+            kernel,
+            stride,
+            weights: Matrix::from_vec(filters, fan_in, w),
+            bias: vec![0.0; filters],
+            grad_weights: Matrix::zeros(filters, fan_in),
+            grad_bias: vec![0.0; filters],
+            last_input: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Number of output positions per filter.
+    #[must_use]
+    pub fn output_len(&self) -> usize {
+        (self.input_len - self.kernel) / self.stride + 1
+    }
+
+    /// Expected input width (`in_channels * input_len`).
+    #[must_use]
+    pub fn input_width(&self) -> usize {
+        self.in_channels * self.input_len
+    }
+
+    /// Output width (`filters * output_len`).
+    #[must_use]
+    pub fn out_width(&self) -> usize {
+        self.filters * self.output_len()
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.input_width(), "conv input width mismatch");
+        self.last_input = input.clone();
+        let out_len = self.output_len();
+        let mut out = Matrix::zeros(input.rows(), self.out_width());
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            let o = out.row_mut(r);
+            for f in 0..self.filters {
+                let w = self.weights.row(f);
+                for p in 0..out_len {
+                    let start = p * self.stride;
+                    let mut acc = self.bias[f];
+                    for ch in 0..self.in_channels {
+                        let x_seg = &x[ch * self.input_len + start..];
+                        let w_seg = &w[ch * self.kernel..(ch + 1) * self.kernel];
+                        for (xk, wk) in x_seg[..self.kernel].iter().zip(w_seg) {
+                            acc += xk * wk;
+                        }
+                    }
+                    o[f * out_len + p] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        assert_eq!(grad_output.cols(), self.out_width(), "conv grad width mismatch");
+        assert_eq!(grad_output.rows(), self.last_input.rows(), "backward batch mismatch");
+        let out_len = self.output_len();
+        let mut grad_input = Matrix::zeros(self.last_input.rows(), self.input_width());
+        for r in 0..grad_output.rows() {
+            let x = self.last_input.row(r);
+            let g = grad_output.row(r);
+            for f in 0..self.filters {
+                let gw = self.grad_weights.row_mut(f);
+                for p in 0..out_len {
+                    let go = g[f * out_len + p];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    self.grad_bias[f] += go;
+                    let start = p * self.stride;
+                    for ch in 0..self.in_channels {
+                        let x_base = ch * self.input_len + start;
+                        let w_base = ch * self.kernel;
+                        for k in 0..self.kernel {
+                            gw[w_base + k] += go * x[x_base + k];
+                        }
+                    }
+                }
+            }
+            // Separate pass for grad_input to avoid borrowing conflicts.
+            let gi = grad_input.row_mut(r);
+            for f in 0..self.filters {
+                let w = self.weights.row(f);
+                for p in 0..out_len {
+                    let go = g[f * out_len + p];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    let start = p * self.stride;
+                    for ch in 0..self.in_channels {
+                        let x_base = ch * self.input_len + start;
+                        let w_base = ch * self.kernel;
+                        for k in 0..self.kernel {
+                            gi[x_base + k] += go * w[w_base + k];
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let mut flat = self.weights.as_slice().to_vec();
+        flat.extend_from_slice(&self.bias);
+        flat
+    }
+
+    fn set_params(&mut self, flat: &[f64]) -> usize {
+        let n = self.param_count();
+        assert!(flat.len() >= n, "parameter buffer too short");
+        let w_len = self.filters * self.in_channels * self.kernel;
+        self.weights.as_mut_slice().copy_from_slice(&flat[..w_len]);
+        self.bias.copy_from_slice(&flat[w_len..n]);
+        n
+    }
+
+    fn grads(&self) -> Vec<f64> {
+        let mut flat = self.grad_weights.as_slice().to_vec();
+        flat.extend_from_slice(&self.grad_bias);
+        flat
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weights = Matrix::zeros(self.filters, self.in_channels * self.kernel);
+        self.grad_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.filters * self.in_channels * self.kernel + self.filters
+    }
+
+    fn output_width(&self, input_width: usize) -> usize {
+        assert_eq!(input_width, self.input_width(), "conv input width mismatch");
+        self.out_width()
+    }
+
+    fn name(&self) -> &'static str {
+        "conv1d"
+    }
+}
+
+/// Convolution over the first `conv.input_width()` features with identity
+/// pass-through for the rest.
+///
+/// This is the paper's topology: the request-frequency history window goes
+/// through the conv filters, whose outputs are "aggregated with other
+/// inputs" (file size, current tier, write rate) before the hidden dense
+/// layer. Output layout: `[conv outputs | pass-through features]`.
+#[derive(Clone, Debug)]
+pub struct ConvBranch {
+    conv: Conv1d,
+    passthrough: usize,
+}
+
+impl ConvBranch {
+    /// Wraps `conv`, passing `passthrough` extra trailing features around it.
+    #[must_use]
+    pub fn new(conv: Conv1d, passthrough: usize) -> ConvBranch {
+        ConvBranch { conv, passthrough }
+    }
+
+    /// Total expected input width.
+    #[must_use]
+    pub fn input_width(&self) -> usize {
+        self.conv.input_width() + self.passthrough
+    }
+
+    /// Total output width.
+    #[must_use]
+    pub fn out_width(&self) -> usize {
+        self.conv.out_width() + self.passthrough
+    }
+}
+
+impl Layer for ConvBranch {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.input_width(), "branch input width mismatch");
+        let (conv_in, rest) = input.hsplit(self.conv.input_width());
+        let conv_out = self.conv.forward(&conv_in);
+        conv_out.hconcat(&rest)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        assert_eq!(grad_output.cols(), self.out_width(), "branch grad width mismatch");
+        let (conv_grad, rest_grad) = grad_output.hsplit(self.conv.out_width());
+        let conv_in_grad = self.conv.backward(&conv_grad);
+        conv_in_grad.hconcat(&rest_grad)
+    }
+
+    fn params(&self) -> Vec<f64> {
+        self.conv.params()
+    }
+
+    fn set_params(&mut self, flat: &[f64]) -> usize {
+        self.conv.set_params(flat)
+    }
+
+    fn grads(&self) -> Vec<f64> {
+        self.conv.grads()
+    }
+
+    fn zero_grads(&mut self) {
+        self.conv.zero_grads();
+    }
+
+    fn param_count(&self) -> usize {
+        self.conv.param_count()
+    }
+
+    fn output_width(&self, input_width: usize) -> usize {
+        assert_eq!(input_width, self.input_width(), "branch input width mismatch");
+        self.out_width()
+    }
+
+    fn name(&self) -> &'static str {
+        "conv-branch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A conv with hand-set weights for exact arithmetic checks.
+    fn small_conv() -> Conv1d {
+        // 1 channel, len 4, 1 filter, kernel 2, stride 1 -> out len 3
+        let mut c = Conv1d::new(1, 4, 1, 2, 1, 0);
+        // w = [1, -1], b = [0.5]
+        c.set_params(&[1.0, -1.0, 0.5]);
+        c
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let mut c = small_conv();
+        let x = Matrix::row_vector(&[1.0, 3.0, 2.0, 5.0]);
+        let y = c.forward(&x);
+        // positions: (1-3)+0.5, (3-2)+0.5, (2-5)+0.5
+        assert_eq!(y.as_slice(), &[-1.5, 1.5, -2.5]);
+    }
+
+    #[test]
+    fn stride_two_halves_positions() {
+        let mut c = Conv1d::new(1, 6, 1, 2, 2, 0);
+        c.set_params(&[1.0, 1.0, 0.0]);
+        let x = Matrix::row_vector(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = c.forward(&x);
+        assert_eq!(c.output_len(), 3);
+        assert_eq!(y.as_slice(), &[3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    fn multi_channel_sums_channels() {
+        // 2 channels, len 3, 1 filter, kernel 2.
+        let mut c = Conv1d::new(2, 3, 1, 2, 1, 0);
+        // filter: ch0 [1, 0], ch1 [0, 1]; bias 0
+        c.set_params(&[1.0, 0.0, 0.0, 1.0, 0.0]);
+        // ch0 = [1, 2, 3], ch1 = [10, 20, 30]
+        let x = Matrix::row_vector(&[1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+        let y = c.forward(&x);
+        // pos0: ch0[0]*1 + ch1[1]*1 = 1 + 20; pos1: 2 + 30
+        assert_eq!(y.as_slice(), &[21.0, 32.0]);
+    }
+
+    #[test]
+    fn multi_filter_layout_is_filter_major() {
+        let mut c = Conv1d::new(1, 3, 2, 2, 1, 0);
+        // f0 = [1, 0] b 0 ; f1 = [0, 1] b 0
+        c.set_params(&[1.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+        let x = Matrix::row_vector(&[5.0, 6.0, 7.0]);
+        let y = c.forward(&x);
+        // f0 picks x[p], f1 picks x[p+1]
+        assert_eq!(y.as_slice(), &[5.0, 6.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn param_count_and_round_trip() {
+        let c = Conv1d::new(2, 8, 4, 3, 1, 3);
+        assert_eq!(c.param_count(), 4 * 2 * 3 + 4);
+        let flat = c.params();
+        let mut c2 = Conv1d::new(2, 8, 4, 3, 1, 99);
+        c2.set_params(&flat);
+        assert_eq!(c2.params(), flat);
+    }
+
+    #[test]
+    fn finite_difference_gradient_check() {
+        let mut c = Conv1d::new(2, 5, 3, 2, 1, 11);
+        let x = Matrix::row_vector(&[0.1, -0.2, 0.3, 0.5, -0.1, 0.7, 0.2, -0.4, 0.6, 0.0]);
+        let y = c.forward(&x);
+        let grad_in = c.backward(&y); // L = 0.5||y||^2
+        let analytic = c.grads();
+
+        let eps = 1e-6;
+        let loss = |conv: &mut Conv1d, x: &Matrix| -> f64 {
+            let y = conv.forward(x);
+            0.5 * y.as_slice().iter().map(|v| v * v).sum::<f64>()
+        };
+
+        let base = c.params();
+        for i in 0..base.len() {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            let mut cp = c.clone();
+            cp.set_params(&plus);
+            let mut cm = c.clone();
+            cm.set_params(&minus);
+            let fd = (loss(&mut cp, &x) - loss(&mut cm, &x)) / (2.0 * eps);
+            assert!(
+                (analytic[i] - fd).abs() < 1e-5,
+                "param {i}: analytic {} vs fd {fd}",
+                analytic[i]
+            );
+        }
+
+        for i in 0..x.cols() {
+            let mut xp = x.clone();
+            xp.set(0, i, x.get(0, i) + eps);
+            let mut xm = x.clone();
+            xm.set(0, i, x.get(0, i) - eps);
+            let mut cc = c.clone();
+            let fd = (loss(&mut cc, &xp) - loss(&mut cc, &xm)) / (2.0 * eps);
+            assert!(
+                (grad_in.get(0, i) - fd).abs() < 1e-5,
+                "input {i}: analytic {} vs fd {fd}",
+                grad_in.get(0, i)
+            );
+        }
+    }
+
+    #[test]
+    fn conv_branch_passes_trailing_features_through() {
+        let conv = small_conv();
+        let mut branch = ConvBranch::new(conv, 2);
+        assert_eq!(branch.input_width(), 6);
+        assert_eq!(branch.out_width(), 5);
+        let x = Matrix::row_vector(&[1.0, 3.0, 2.0, 5.0, 42.0, -7.0]);
+        let y = branch.forward(&x);
+        assert_eq!(y.as_slice(), &[-1.5, 1.5, -2.5, 42.0, -7.0]);
+    }
+
+    #[test]
+    fn conv_branch_backward_routes_gradients() {
+        let conv = small_conv();
+        let mut branch = ConvBranch::new(conv, 2);
+        let x = Matrix::row_vector(&[1.0, 3.0, 2.0, 5.0, 42.0, -7.0]);
+        let _ = branch.forward(&x);
+        let g = Matrix::row_vector(&[0.0, 0.0, 0.0, 1.0, 2.0]);
+        let gi = branch.backward(&g);
+        // Zero conv grads -> zero input grads for the conv segment; the
+        // passthrough grads arrive unchanged.
+        assert_eq!(&gi.as_slice()[..4], &[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(&gi.as_slice()[4..], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn conv_branch_finite_difference() {
+        let conv = Conv1d::new(1, 6, 2, 3, 1, 5);
+        let mut branch = ConvBranch::new(conv, 3);
+        let x = Matrix::row_vector(&[0.2, -0.1, 0.4, 0.0, 0.3, -0.5, 1.0, -1.0, 0.5]);
+        let y = branch.forward(&x);
+        let grad_in = branch.backward(&y);
+        let eps = 1e-6;
+        let loss = |b: &mut ConvBranch, x: &Matrix| -> f64 {
+            let y = b.forward(x);
+            0.5 * y.as_slice().iter().map(|v| v * v).sum::<f64>()
+        };
+        for i in 0..x.cols() {
+            let mut xp = x.clone();
+            xp.set(0, i, x.get(0, i) + eps);
+            let mut xm = x.clone();
+            xm.set(0, i, x.get(0, i) - eps);
+            let mut bc = branch.clone();
+            let fd = (loss(&mut bc, &xp) - loss(&mut bc, &xm)) / (2.0 * eps);
+            assert!(
+                (grad_in.get(0, i) - fd).abs() < 1e-5,
+                "input {i}: analytic {} vs fd {fd}",
+                grad_in.get(0, i)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must fit")]
+    fn oversized_kernel_panics() {
+        let _ = Conv1d::new(1, 3, 1, 4, 1, 0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(small_conv().name(), "conv1d");
+        assert_eq!(ConvBranch::new(small_conv(), 1).name(), "conv-branch");
+    }
+}

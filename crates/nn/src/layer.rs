@@ -1,0 +1,219 @@
+//! The layer abstraction and parameter-free activation layers.
+
+use crate::matrix::Matrix;
+
+/// A differentiable layer in a sequential [`crate::Network`].
+///
+/// The forward pass caches whatever the backward pass needs; `backward`
+/// consumes the gradient w.r.t. the layer's output and returns the gradient
+/// w.r.t. its input, accumulating parameter gradients internally. Gradients
+/// accumulate across calls until [`Layer::zero_grads`].
+pub trait Layer: Send {
+    /// Forward pass over a batch (rows = samples).
+    fn forward(&mut self, input: &Matrix) -> Matrix;
+
+    /// Backward pass; must follow a `forward` with the matching batch.
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// Flat view of trainable parameters (empty for activations).
+    fn params(&self) -> Vec<f64>;
+
+    /// Overwrites trainable parameters from a flat buffer, returning the
+    /// number of values consumed.
+    fn set_params(&mut self, flat: &[f64]) -> usize;
+
+    /// Flat view of accumulated parameter gradients (same layout as
+    /// [`Layer::params`]).
+    fn grads(&self) -> Vec<f64>;
+
+    /// Clears accumulated gradients.
+    fn zero_grads(&mut self);
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize;
+
+    /// Output width for a given input width; panics if incompatible.
+    /// Lets [`crate::Network`] validate layer chains at construction.
+    fn output_width(&self, input_width: usize) -> usize;
+
+    /// Short layer name for debugging.
+    fn name(&self) -> &'static str;
+}
+
+/// Rectified linear unit: `max(0, x)`.
+#[derive(Clone, Debug, Default)]
+pub struct Relu {
+    mask: Matrix,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    #[must_use]
+    pub fn new() -> Relu {
+        Relu { mask: Matrix::zeros(0, 0) }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        self.mask = input.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        assert_eq!(grad_output.shape(), self.mask.shape(), "backward before forward");
+        grad_output.hadamard(&self.mask)
+    }
+
+    fn params(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    fn set_params(&mut self, _flat: &[f64]) -> usize {
+        0
+    }
+
+    fn grads(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn output_width(&self, input_width: usize) -> usize {
+        input_width
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Clone, Debug, Default)]
+pub struct Tanh {
+    output: Matrix,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    #[must_use]
+    pub fn new() -> Tanh {
+        Tanh { output: Matrix::zeros(0, 0) }
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        self.output = input.map(f64::tanh);
+        self.output.clone()
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        assert_eq!(grad_output.shape(), self.output.shape(), "backward before forward");
+        // d tanh(x)/dx = 1 - tanh(x)^2
+        let deriv = self.output.map(|y| 1.0 - y * y);
+        grad_output.hadamard(&deriv)
+    }
+
+    fn params(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    fn set_params(&mut self, _flat: &[f64]) -> usize {
+        0
+    }
+
+    fn grads(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn output_width(&self, input_width: usize) -> usize {
+        input_width
+    }
+
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_clips_negatives() {
+        let mut relu = Relu::new();
+        let x = Matrix::row_vector(&[-2.0, 0.0, 3.0]);
+        let y = relu.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Matrix::row_vector(&[-2.0, 0.5, 3.0]);
+        let _ = relu.forward(&x);
+        let g = relu.backward(&Matrix::row_vector(&[1.0, 1.0, 1.0]));
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_forward_and_gradient() {
+        let mut tanh = Tanh::new();
+        let x = Matrix::row_vector(&[0.0, 1.0]);
+        let y = tanh.forward(&x);
+        assert_eq!(y.get(0, 0), 0.0);
+        assert!((y.get(0, 1) - 1.0f64.tanh()).abs() < 1e-12);
+        let g = tanh.backward(&Matrix::row_vector(&[1.0, 1.0]));
+        // At 0 the derivative is 1; at 1 it's 1 - tanh(1)^2.
+        assert!((g.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((g.get(0, 1) - (1.0 - 1.0f64.tanh().powi(2))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        let relu = Relu::new();
+        assert_eq!(relu.param_count(), 0);
+        assert!(relu.params().is_empty());
+        assert!(relu.grads().is_empty());
+        assert_eq!(relu.output_width(7), 7);
+        let tanh = Tanh::new();
+        assert_eq!(tanh.param_count(), 0);
+        assert_eq!(tanh.output_width(3), 3);
+        assert_eq!(relu.name(), "relu");
+        assert_eq!(tanh.name(), "tanh");
+    }
+
+    #[test]
+    fn relu_finite_difference() {
+        // For y = relu(x), dL/dx where L = sum(y * w).
+        let mut relu = Relu::new();
+        let x = Matrix::row_vector(&[0.3, -0.7, 1.2]);
+        let w = [2.0, 3.0, -1.0];
+        let _ = relu.forward(&x);
+        let analytic = relu.backward(&Matrix::row_vector(&w));
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut plus = x.clone();
+            plus.set(0, i, x.get(0, i) + eps);
+            let mut minus = x.clone();
+            minus.set(0, i, x.get(0, i) - eps);
+            let mut r2 = Relu::new();
+            let loss = |m: &Matrix| -> f64 {
+                m.as_slice().iter().zip(&w).map(|(a, b)| a * b).sum()
+            };
+            let fd = (loss(&r2.forward(&plus)) - loss(&r2.forward(&minus))) / (2.0 * eps);
+            assert!((analytic.get(0, i) - fd).abs() < 1e-5, "dim {i}");
+        }
+    }
+}

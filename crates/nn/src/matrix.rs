@@ -1,0 +1,422 @@
+//! A small row-major `f64` matrix.
+//!
+//! Scoped to what the layers need: matmul (plain ikj loop order, which the
+//! compiler vectorizes well at these sizes), transpose-free variants for the
+//! backward passes, and element-wise helpers. Networks in this system are
+//! hundreds of units wide at most, so a hand-rolled kernel comfortably beats
+//! the overhead of pulling in a BLAS.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows x cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a flat row-major buffer. Panics on length mismatch.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds from nested rows. Panics if rows are ragged.
+    #[must_use]
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Matrix {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for row in &rows {
+            assert_eq!(row.len(), n_cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: n_rows, cols: n_cols, data }
+    }
+
+    /// A `1 x n` row vector.
+    #[must_use]
+    pub fn row_vector(values: &[f64]) -> Matrix {
+        Matrix { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The flat row-major buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor. Panics when out of bounds (debug-friendly; hot
+    /// paths use row slices instead).
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Element setter. Panics when out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Row `r` as a slice.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self @ other` (`m x k` times `k x n`).
+    #[must_use]
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T @ other` without materializing the transpose
+    /// (`m x k`^T times `m x n` -> `k x n`); used for weight gradients.
+    #[must_use]
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(k, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let b_row = &other.data[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ other^T` without materializing the transpose
+    /// (`m x k` times `n x k`^T -> `m x n`); used for input gradients.
+    #[must_use]
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum with `other`. Panics on shape mismatch.
+    #[must_use]
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Adds `row` (a `1 x cols` vector) to every row; used for biases.
+    pub fn add_row_in_place(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        for r in 0..self.rows {
+            for (v, &b) in self.data[r * self.cols..(r + 1) * self.cols].iter_mut().zip(row) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Element-wise map.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise product (Hadamard). Panics on shape mismatch.
+    #[must_use]
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Column sums as a `1 x cols` vector; used for bias gradients.
+    #[must_use]
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(&self.data[r * self.cols..(r + 1) * self.cols]) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Horizontal concatenation `[self | other]`. Panics unless row counts
+    /// match.
+    #[must_use]
+    pub fn hconcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hconcat row mismatch");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Matrix { rows: self.rows, cols, data }
+    }
+
+    /// Splits columns at `at`: returns (`[.., :at]`, `[.., at:]`).
+    /// Panics if `at > cols`.
+    #[must_use]
+    pub fn hsplit(&self, at: usize) -> (Matrix, Matrix) {
+        assert!(at <= self.cols, "split point beyond columns");
+        let mut left = Matrix::zeros(self.rows, at);
+        let mut right = Matrix::zeros(self.rows, self.cols - at);
+        for r in 0..self.rows {
+            left.row_mut(r).copy_from_slice(&self.row(r)[..at]);
+            right.row_mut(r).copy_from_slice(&self.row(r)[at..]);
+        }
+        (left, right)
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m(rows: usize, cols: usize, vals: &[f64]) -> Matrix {
+        Matrix::from_vec(rows, cols, vals.to_vec())
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.shape(), (2, 2));
+        assert_eq!(a.get(0, 1), 2.0);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        let mut b = a.clone();
+        b.set(0, 0, 9.0);
+        assert_eq!(b.get(0, 0), 9.0);
+        assert_eq!(Matrix::row_vector(&[1.0, 2.0]).shape(), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, m(2, 2, &[58.0, 64.0, 139.0, 154.0]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let eye = m(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&eye), a);
+        assert_eq!(eye.matmul(&a), a);
+    }
+
+    #[test]
+    fn t_matmul_equals_transpose_then_matmul() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 4, &(0..12).map(f64::from).collect::<Vec<_>>());
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_equals_matmul_with_transpose() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(4, 3, &(0..12).map(f64::from).collect::<Vec<_>>());
+        assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_and_hadamard() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[10.0, 20.0, 30.0]);
+        assert_eq!(a.add(&b), m(1, 3, &[11.0, 22.0, 33.0]));
+        assert_eq!(a.hadamard(&b), m(1, 3, &[10.0, 40.0, 90.0]));
+    }
+
+    #[test]
+    fn add_row_in_place_broadcasts() {
+        let mut a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        a.add_row_in_place(&[10.0, 20.0]);
+        assert_eq!(a, m(2, 2, &[11.0, 22.0, 13.0, 24.0]));
+    }
+
+    #[test]
+    fn column_sums_match_manual() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.column_sums(), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn hconcat_then_hsplit_round_trips() {
+        let a = m(2, 2, &[1.0, 2.0, 5.0, 6.0]);
+        let b = m(2, 3, &[3.0, 4.0, 4.5, 7.0, 8.0, 8.5]);
+        let joined = a.hconcat(&b);
+        assert_eq!(joined.shape(), (2, 5));
+        let (left, right) = joined.hsplit(2);
+        assert_eq!(left, a);
+        assert_eq!(right, b);
+    }
+
+    #[test]
+    fn hsplit_edges() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let (l, r) = a.hsplit(0);
+        assert_eq!(l.shape(), (1, 0));
+        assert_eq!(r, a);
+        let (l, r) = a.hsplit(3);
+        assert_eq!(l, a);
+        assert_eq!(r.shape(), (1, 0));
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let a = m(1, 3, &[-1.0, 0.0, 2.0]);
+        assert_eq!(a.map(|v| v.max(0.0)), m(1, 3, &[0.0, 0.0, 2.0]));
+    }
+
+    #[test]
+    fn norm_is_frobenius() {
+        let a = m(1, 2, &[3.0, 4.0]);
+        assert_eq!(a.norm(), 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_associates_with_vector(
+            a_vals in proptest::collection::vec(-3.0f64..3.0, 6),
+            b_vals in proptest::collection::vec(-3.0f64..3.0, 6),
+            v_vals in proptest::collection::vec(-3.0f64..3.0, 2),
+        ) {
+            // (A B) v == A (B v) for 2x3, 3x2, 2x1.
+            let a = m(2, 3, &a_vals);
+            let b = m(3, 2, &b_vals);
+            let v = m(2, 1, &v_vals);
+            let left = a.matmul(&b).matmul(&v);
+            let right = a.matmul(&b.matmul(&v));
+            for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+                prop_assert!((l - r).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn matmul_distributes_over_add(
+            a_vals in proptest::collection::vec(-3.0f64..3.0, 4),
+            b_vals in proptest::collection::vec(-3.0f64..3.0, 4),
+            c_vals in proptest::collection::vec(-3.0f64..3.0, 4),
+        ) {
+            let a = m(2, 2, &a_vals);
+            let b = m(2, 2, &b_vals);
+            let c = m(2, 2, &c_vals);
+            let left = a.matmul(&b.add(&c));
+            let right = a.matmul(&b).add(&a.matmul(&c));
+            for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+                prop_assert!((l - r).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Sequential network container.
+
+use crate::layer::Layer;
+use crate::matrix::Matrix;
+
+/// A sequential stack of layers with flat parameter/gradient access.
+///
+/// Flat vectors are the currency of the A3C parameter store: workers pull
+/// `param_vector()`-shaped snapshots and push `grad_vector()`-shaped
+/// updates.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// Builds a network from layers. Empty networks are identities.
+    #[must_use]
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Network {
+        Network { layers }
+    }
+
+    /// Validates that the layer chain is consistent for `input_width`,
+    /// returning the final output width. Panics (inside a layer) on
+    /// mismatch — call this once at construction time in debug paths.
+    #[must_use]
+    pub fn check_widths(&self, input_width: usize) -> usize {
+        self.layers
+            .iter()
+            .fold(input_width, |w, layer| layer.output_width(w))
+    }
+
+    /// Forward pass over a batch.
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut current = input.clone();
+        for layer in &mut self.layers {
+            current = layer.forward(&current);
+        }
+        current
+    }
+
+    /// Backward pass from the loss gradient at the output; returns the
+    /// gradient at the input. Parameter gradients accumulate in the layers.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut current = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            current = layer.backward(&current);
+        }
+        current
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// All parameters, concatenated in layer order.
+    #[must_use]
+    pub fn param_vector(&self) -> Vec<f64> {
+        let mut flat = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            flat.extend(layer.params());
+        }
+        flat
+    }
+
+    /// Overwrites all parameters from a flat vector.
+    /// Panics if `flat` is shorter than [`Network::param_count`].
+    pub fn set_params(&mut self, flat: &[f64]) {
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            offset += layer.set_params(&flat[offset..]);
+        }
+        assert_eq!(offset, self.param_count(), "parameter vector length mismatch");
+    }
+
+    /// All accumulated gradients, concatenated in layer order.
+    #[must_use]
+    pub fn grad_vector(&self) -> Vec<f64> {
+        let mut flat = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            flat.extend(layer.grads());
+        }
+        flat
+    }
+
+    /// Clears accumulated gradients in every layer.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer names in order, for debugging.
+    #[must_use]
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("layers", &self.layer_names())
+            .field("params", &self.param_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{Conv1d, ConvBranch};
+    use crate::dense::Dense;
+    use crate::layer::{Relu, Tanh};
+
+    fn mlp() -> Network {
+        Network::new(vec![
+            Box::new(Dense::new(3, 5, 1)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(5, 2, 2)),
+        ])
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut net = mlp();
+        let x = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0]]);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), (2, 2));
+        assert_eq!(net.check_widths(3), 2);
+    }
+
+    #[test]
+    fn empty_network_is_identity() {
+        let mut net = Network::new(vec![]);
+        let x = Matrix::row_vector(&[1.0, 2.0]);
+        assert_eq!(net.forward(&x), x);
+        assert_eq!(net.backward(&x), x);
+        assert_eq!(net.param_count(), 0);
+        assert_eq!(net.check_widths(2), 2);
+    }
+
+    #[test]
+    fn param_vector_round_trip() {
+        let net = mlp();
+        let flat = net.param_vector();
+        assert_eq!(flat.len(), net.param_count());
+        let mut net2 = Network::new(vec![
+            Box::new(Dense::new(3, 5, 77)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(5, 2, 78)),
+        ]);
+        assert_ne!(net2.param_vector(), flat);
+        net2.set_params(&flat);
+        assert_eq!(net2.param_vector(), flat);
+    }
+
+    #[test]
+    fn identical_params_give_identical_outputs() {
+        let mut a = mlp();
+        let mut b = Network::new(vec![
+            Box::new(Dense::new(3, 5, 50)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(5, 2, 51)),
+        ]);
+        b.set_params(&a.param_vector());
+        let x = Matrix::row_vector(&[0.5, -1.0, 2.0]);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn grads_accumulate_and_zero() {
+        let mut net = mlp();
+        let x = Matrix::row_vector(&[1.0, -1.0, 0.5]);
+        let y = net.forward(&x);
+        net.backward(&y);
+        let g1 = net.grad_vector();
+        assert!(g1.iter().any(|&g| g != 0.0));
+        let _ = net.forward(&x);
+        net.backward(&y);
+        let g2 = net.grad_vector();
+        // Accumulation doubles the gradient for identical passes.
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((2.0 * a - b).abs() < 1e-9);
+        }
+        net.zero_grads();
+        assert!(net.grad_vector().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn end_to_end_finite_difference() {
+        // Full-network gradient check with conv branch + dense trunk:
+        // exactly the paper's topology in miniature.
+        let conv = Conv1d::new(1, 6, 2, 3, 1, 9);
+        let mut net = Network::new(vec![
+            Box::new(ConvBranch::new(conv, 2)),
+            Box::new(Tanh::new()),
+            Box::new(Dense::new(2 * 4 + 2, 4, 10)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(4, 3, 11)),
+        ]);
+        let x = Matrix::row_vector(&[0.2, -0.3, 0.5, 0.1, -0.6, 0.4, 1.0, -0.5]);
+        assert_eq!(net.check_widths(8), 3);
+
+        let y = net.forward(&x);
+        net.backward(&y); // L = 0.5||y||^2
+        let analytic = net.grad_vector();
+
+        let eps = 1e-6;
+        let base = net.param_vector();
+        let loss_at = |net: &mut Network, params: &[f64], x: &Matrix| -> f64 {
+            net.set_params(params);
+            let y = net.forward(x);
+            0.5 * y.as_slice().iter().map(|v| v * v).sum::<f64>()
+        };
+        // Check a spread of parameters (every 7th) to keep the test fast.
+        for i in (0..base.len()).step_by(7) {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            let fd = (loss_at(&mut net, &plus, &x) - loss_at(&mut net, &minus, &x)) / (2.0 * eps);
+            assert!(
+                (analytic[i] - fd).abs() < 1e-5,
+                "param {i}: analytic {} vs fd {fd}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss() {
+        // Train the MLP to map a fixed input to a fixed target; loss must
+        // drop monotonically-ish under plain SGD.
+        let mut net = mlp();
+        let x = Matrix::row_vector(&[0.5, -0.2, 0.8]);
+        let target = [1.0, -1.0];
+        let loss_of = |y: &Matrix| -> f64 {
+            y.as_slice()
+                .iter()
+                .zip(&target)
+                .map(|(a, b)| 0.5 * (a - b) * (a - b))
+                .sum()
+        };
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let y = net.forward(&x);
+            last = loss_of(&y);
+            first.get_or_insert(last);
+            let grad: Vec<f64> =
+                y.as_slice().iter().zip(&target).map(|(a, b)| a - b).collect();
+            net.zero_grads();
+            net.backward(&Matrix::row_vector(&grad));
+            let g = net.grad_vector();
+            let mut p = net.param_vector();
+            for (pi, gi) in p.iter_mut().zip(&g) {
+                *pi -= 0.05 * gi;
+            }
+            net.set_params(&p);
+        }
+        assert!(last < 0.01 * first.unwrap(), "loss {last} from {:?}", first);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn check_widths_rejects_bad_chain() {
+        let net = Network::new(vec![
+            Box::new(Dense::new(3, 5, 1)),
+            Box::new(Dense::new(6, 2, 2)), // 5 != 6
+        ]);
+        let _ = net.check_widths(3);
+    }
+
+    #[test]
+    fn debug_format_lists_layers() {
+        let net = mlp();
+        let s = format!("{net:?}");
+        assert!(s.contains("dense"));
+        assert!(s.contains("relu"));
+    }
+}

@@ -1,0 +1,321 @@
+//! The paper's total-cost model (Eqs. 5–9).
+//!
+//! `C(s_t, a_t) = Cs + Cc + Cr + Cw` — storage, tier-change, read, and write
+//! cost of one file over one charging day. [`CostModel`] evaluates the model
+//! against a [`PricingPolicy`]; [`CostBreakdown`] exposes the four
+//! components so experiments can attribute savings.
+
+use crate::money::Money;
+use crate::policy::PricingPolicy;
+use crate::tier::Tier;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// One file-day of billable activity.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FileDay {
+    /// File size in GB (`D_{d_i}`).
+    pub size_gb: f64,
+    /// Read operations this day (`F_r^t`).
+    pub reads: u64,
+    /// Write operations this day (`F_w^t`).
+    pub writes: u64,
+    /// Tier the file occupies during the day.
+    pub tier: Tier,
+    /// `Some(previous)` when the file was moved into `tier` at the start of
+    /// this day (the paper's `Θ = 1` case in Eq. 9); `None` otherwise.
+    pub changed_from: Option<Tier>,
+}
+
+impl FileDay {
+    /// Convenience constructor for a day without a tier change.
+    #[must_use]
+    pub fn steady(size_gb: f64, reads: u64, writes: u64, tier: Tier) -> Self {
+        FileDay { size_gb, reads, writes, tier, changed_from: None }
+    }
+}
+
+/// The four cost components of Eq. 5.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Storage cost `Cs` (Eq. 6).
+    pub storage: Money,
+    /// Tier-change cost `Cc` (Eq. 9).
+    pub change: Money,
+    /// Read cost `Cr` (Eq. 7).
+    pub read: Money,
+    /// Write cost `Cw` (Eq. 8).
+    pub write: Money,
+}
+
+impl CostBreakdown {
+    /// `Cs + Cc + Cr + Cw` (Eq. 5).
+    #[must_use]
+    pub fn total(&self) -> Money {
+        self.storage + self.change + self.read + self.write
+    }
+}
+
+impl Add for CostBreakdown {
+    type Output = CostBreakdown;
+    fn add(self, rhs: CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            storage: self.storage + rhs.storage,
+            change: self.change + rhs.change,
+            read: self.read + rhs.read,
+            write: self.write + rhs.write,
+        }
+    }
+}
+
+impl AddAssign for CostBreakdown {
+    fn add_assign(&mut self, rhs: CostBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for CostBreakdown {
+    fn sum<I: Iterator<Item = CostBreakdown>>(iter: I) -> CostBreakdown {
+        iter.fold(CostBreakdown::default(), Add::add)
+    }
+}
+
+/// Evaluates the paper's cost model against a pricing policy.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    policy: PricingPolicy,
+}
+
+impl CostModel {
+    /// Creates a cost model over `policy`.
+    #[must_use]
+    pub fn new(policy: PricingPolicy) -> Self {
+        CostModel { policy }
+    }
+
+    /// The underlying pricing policy.
+    #[must_use]
+    pub fn policy(&self) -> &PricingPolicy {
+        &self.policy
+    }
+
+    /// Full component breakdown for one file-day.
+    #[must_use]
+    pub fn day_breakdown(&self, day: &FileDay) -> CostBreakdown {
+        let prices = self.policy.tier(day.tier);
+        let change = match day.changed_from {
+            Some(from) => self.policy.change_cost(from, day.tier, day.size_gb),
+            None => Money::ZERO,
+        };
+        CostBreakdown {
+            storage: prices.storage_day(day.size_gb),
+            change,
+            read: prices.read_cost(day.reads, day.size_gb),
+            write: prices.write_cost(day.writes, day.size_gb),
+        }
+    }
+
+    /// Total cost for one file-day (Eq. 5).
+    #[must_use]
+    pub fn day_cost(&self, day: &FileDay) -> Money {
+        self.day_breakdown(day).total()
+    }
+
+    /// Cost of keeping a file in `tier` for one day with the given activity,
+    /// with no tier change. The hot inner loop of every optimizer.
+    #[must_use]
+    pub fn steady_day_cost(&self, size_gb: f64, reads: u64, writes: u64, tier: Tier) -> Money {
+        let prices = self.policy.tier(tier);
+        prices.storage_day(size_gb)
+            + prices.read_cost(reads, size_gb)
+            + prices.write_cost(writes, size_gb)
+    }
+
+    /// The cheapest single tier for a whole series of (reads, writes) days,
+    /// never changing tier — the paper's "all hot or all cold, whichever is
+    /// lower" baseline used when computing potential savings (§3.1, Fig. 3).
+    ///
+    /// Returns `(tier, total_cost)`. `days` yields `(reads, writes)` pairs.
+    #[must_use]
+    pub fn best_single_tier<I>(&self, size_gb: f64, days: I) -> (Tier, Money)
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut totals = [Money::ZERO; crate::tier::TIER_COUNT];
+        for (reads, writes) in days {
+            for tier in Tier::all() {
+                totals[tier.index()] += self.steady_day_cost(size_gb, reads, writes, tier);
+            }
+        }
+        Tier::all()
+            .map(|t| (t, totals[t.index()]))
+            .min_by_key(|&(_, cost)| cost)
+            .expect("tier set is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> CostModel {
+        CostModel::new(PricingPolicy::azure_blob_2020())
+    }
+
+    #[test]
+    fn breakdown_total_is_component_sum() {
+        let m = model();
+        let day = FileDay {
+            size_gb: 0.5,
+            reads: 1234,
+            writes: 56,
+            tier: Tier::Cool,
+            changed_from: Some(Tier::Hot),
+        };
+        let b = m.day_breakdown(&day);
+        assert_eq!(b.total(), b.storage + b.change + b.read + b.write);
+        assert_eq!(m.day_cost(&day), b.total());
+        assert!(b.change > Money::ZERO);
+    }
+
+    #[test]
+    fn steady_day_has_no_change_cost() {
+        let m = model();
+        let day = FileDay::steady(0.1, 100, 10, Tier::Hot);
+        let b = m.day_breakdown(&day);
+        assert_eq!(b.change, Money::ZERO);
+        assert_eq!(m.steady_day_cost(0.1, 100, 10, Tier::Hot), b.total());
+    }
+
+    #[test]
+    fn hot_is_cheaper_for_hot_files() {
+        // A heavily-read file should be cheaper in hot than cool or archive.
+        let m = model();
+        let reads = 50_000;
+        let hot = m.steady_day_cost(0.1, reads, 0, Tier::Hot);
+        let cool = m.steady_day_cost(0.1, reads, 0, Tier::Cool);
+        let archive = m.steady_day_cost(0.1, reads, 0, Tier::Archive);
+        assert!(hot < cool, "hot {hot} should beat cool {cool}");
+        assert!(cool < archive, "cool {cool} should beat archive {archive}");
+    }
+
+    #[test]
+    fn archive_is_cheaper_for_idle_files() {
+        let m = model();
+        let hot = m.steady_day_cost(10.0, 0, 0, Tier::Hot);
+        let cool = m.steady_day_cost(10.0, 0, 0, Tier::Cool);
+        let archive = m.steady_day_cost(10.0, 0, 0, Tier::Archive);
+        assert!(archive < cool && cool < hot);
+    }
+
+    #[test]
+    fn best_single_tier_picks_minimum() {
+        let m = model();
+        // Idle file: archive must win.
+        let (tier, _) = m.best_single_tier(1.0, std::iter::repeat_n((0, 0), 7));
+        assert_eq!(tier, Tier::Archive);
+        // Busy file: hot must win.
+        let (tier, _) = m.best_single_tier(0.1, std::iter::repeat_n((100_000, 0), 7));
+        assert_eq!(tier, Tier::Hot);
+    }
+
+    #[test]
+    fn best_single_tier_total_matches_manual_sum() {
+        let m = model();
+        let days = [(10u64, 1u64), (20, 2), (0, 0)];
+        let (tier, total) = m.best_single_tier(0.25, days.iter().copied());
+        let manual: Money = days
+            .iter()
+            .map(|&(r, w)| m.steady_day_cost(0.25, r, w, tier))
+            .sum();
+        assert_eq!(total, manual);
+    }
+
+    #[test]
+    fn zero_size_zero_activity_costs_nothing() {
+        let m = model();
+        for tier in Tier::all() {
+            assert_eq!(m.steady_day_cost(0.0, 0, 0, tier), Money::ZERO);
+        }
+    }
+
+    #[test]
+    fn breakdown_sum_over_days() {
+        let m = model();
+        let days = [
+            FileDay::steady(0.1, 10, 1, Tier::Hot),
+            FileDay::steady(0.1, 20, 2, Tier::Hot),
+        ];
+        let total: CostBreakdown = days.iter().map(|d| m.day_breakdown(d)).sum();
+        assert_eq!(
+            total.total(),
+            m.day_cost(&days[0]) + m.day_cost(&days[1])
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn cost_is_nonnegative(
+            size in 0.0f64..100.0,
+            reads in 0u64..1_000_000,
+            writes in 0u64..1_000_000,
+            tier_ix in 0usize..3,
+            from_ix in proptest::option::of(0usize..3),
+        ) {
+            let m = model();
+            let day = FileDay {
+                size_gb: size,
+                reads,
+                writes,
+                tier: Tier::from_index(tier_ix).unwrap(),
+                changed_from: from_ix.map(|i| Tier::from_index(i).unwrap()),
+            };
+            prop_assert!(m.day_cost(&day) >= Money::ZERO);
+        }
+
+        #[test]
+        fn cost_is_monotone_in_activity(
+            size in 0.01f64..10.0,
+            reads in 0u64..100_000,
+            writes in 0u64..100_000,
+            extra in 1u64..10_000,
+            tier_ix in 0usize..3,
+        ) {
+            let m = model();
+            let tier = Tier::from_index(tier_ix).unwrap();
+            let base = m.steady_day_cost(size, reads, writes, tier);
+            prop_assert!(m.steady_day_cost(size, reads + extra, writes, tier) >= base);
+            prop_assert!(m.steady_day_cost(size, reads, writes + extra, tier) >= base);
+        }
+
+        #[test]
+        fn best_single_tier_beats_each_fixed_tier(
+            size in 0.01f64..10.0,
+            days in proptest::collection::vec((0u64..10_000, 0u64..1_000), 1..14),
+        ) {
+            let m = model();
+            let (_, best) = m.best_single_tier(size, days.iter().copied());
+            for tier in Tier::all() {
+                let fixed: Money = days
+                    .iter()
+                    .map(|&(r, w)| m.steady_day_cost(size, r, w, tier))
+                    .sum();
+                prop_assert!(best <= fixed);
+            }
+        }
+
+        #[test]
+        fn flat_policy_makes_tiers_equivalent(
+            size in 0.01f64..10.0,
+            reads in 0u64..10_000,
+            writes in 0u64..10_000,
+        ) {
+            let m = CostModel::new(PricingPolicy::flat());
+            let costs: Vec<Money> = Tier::all()
+                .map(|t| m.steady_day_cost(size, reads, writes, t))
+                .collect();
+            prop_assert!(costs.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Exact money arithmetic in integer micro-dollars.
+//!
+//! Experiments aggregate per-file daily costs across hundreds of thousands of
+//! files and weeks of simulated time. Using `f64` dollars would accumulate
+//! rounding drift and make ledgers order-dependent (a problem for the
+//! deterministic, parallel accounting in `minicost-core`). `Money` stores
+//! micro-dollars in an `i64`, which covers ±9.2 trillion dollars — far beyond
+//! any experiment in the paper — with exact addition.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Micro-dollars per dollar.
+const MICROS: i64 = 1_000_000;
+
+/// An exact monetary amount in integer micro-dollars.
+///
+/// Construction from floating-point dollar amounts rounds to the nearest
+/// micro-dollar; all subsequent arithmetic is exact integer arithmetic.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Money(i64);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0);
+
+    /// Largest representable amount (used as an "infinite cost" sentinel in
+    /// optimization code).
+    pub const MAX: Money = Money(i64::MAX);
+
+    /// Creates a `Money` from a dollar amount, rounding to the nearest
+    /// micro-dollar (ties away from zero, like `f64::round`).
+    #[must_use]
+    pub fn from_dollars(dollars: f64) -> Self {
+        debug_assert!(dollars.is_finite(), "money must be finite: {dollars}");
+        Money((dollars * MICROS as f64).round() as i64)
+    }
+
+    /// Creates a `Money` from an exact number of micro-dollars.
+    #[must_use]
+    pub const fn from_micros(micros: i64) -> Self {
+        Money(micros)
+    }
+
+    /// The exact number of micro-dollars.
+    #[must_use]
+    pub const fn micros(self) -> i64 {
+        self.0
+    }
+
+    /// The amount in (approximate) floating-point dollars, for reporting.
+    #[must_use]
+    pub fn as_dollars(self) -> f64 {
+        self.0 as f64 / MICROS as f64
+    }
+
+    /// `true` if the amount is exactly zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition; useful when folding with `Money::MAX` sentinels.
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Money) -> Money {
+        Money(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiplies by a non-negative scale factor, rounding to the nearest
+    /// micro-dollar. Used for unit-price × quantity computations where the
+    /// quantity is fractional (e.g. GB sizes).
+    #[must_use]
+    pub fn scale(self, factor: f64) -> Money {
+        debug_assert!(factor.is_finite(), "scale factor must be finite: {factor}");
+        Money((self.0 as f64 * factor).round() as i64)
+    }
+
+    /// The smaller of two amounts.
+    #[must_use]
+    pub fn min(self, other: Money) -> Money {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two amounts.
+    #[must_use]
+    pub fn max(self, other: Money) -> Money {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub const fn abs(self) -> Money {
+        Money(self.0.abs())
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Mul<i64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: i64) -> Money {
+        Money(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for Money {
+    type Output = Money;
+    fn div(self, rhs: i64) -> Money {
+        Money(self.0 / rhs)
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Money> for Money {
+    fn sum<I: Iterator<Item = &'a Money>>(iter: I) -> Money {
+        iter.copied().sum()
+    }
+}
+
+impl fmt::Debug for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.6}", self.as_dollars())
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.2}", self.as_dollars())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dollars_round_trip() {
+        let m = Money::from_dollars(1.25);
+        assert_eq!(m.micros(), 1_250_000);
+        assert!((m.as_dollars() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounding_is_nearest() {
+        // 0.0000004 dollars = 0.4 micro-dollars -> rounds to 0.
+        assert_eq!(Money::from_dollars(0.000_000_4).micros(), 0);
+        // 0.0000006 dollars -> rounds to 1 micro-dollar.
+        assert_eq!(Money::from_dollars(0.000_000_6).micros(), 1);
+        // Negative values round away from zero on ties.
+        assert_eq!(Money::from_dollars(-0.000_000_6).micros(), -1);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Money::from_dollars(3.50);
+        let b = Money::from_dollars(1.25);
+        assert_eq!((a + b).as_dollars(), 4.75);
+        assert_eq!((a - b).as_dollars(), 2.25);
+        assert_eq!((a * 2).as_dollars(), 7.0);
+        assert_eq!((a / 2).as_dollars(), 1.75);
+        assert_eq!((-a).as_dollars(), -3.5);
+        assert_eq!(a.abs(), a);
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = [Money::from_dollars(0.10); 10];
+        let total: Money = parts.iter().sum();
+        assert_eq!(total, Money::from_dollars(1.0));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Money::from_dollars(1.0);
+        let b = Money::from_dollars(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn saturating_add_caps_at_max() {
+        assert_eq!(Money::MAX.saturating_add(Money::from_dollars(1.0)), Money::MAX);
+    }
+
+    #[test]
+    fn scale_by_fraction() {
+        let unit = Money::from_dollars(0.0184); // $/GB·month
+        // 0.1 GB worth.
+        assert_eq!(unit.scale(0.1), Money::from_dollars(0.00184));
+        assert_eq!(unit.scale(0.0), Money::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = Money::from_dollars(1234.5678);
+        assert_eq!(format!("{m}"), "$1234.57");
+        assert_eq!(format!("{m:?}"), "$1234.567800");
+    }
+
+    proptest! {
+        #[test]
+        fn addition_is_exact_and_commutative(a in -1_000_000_000i64..1_000_000_000, b in -1_000_000_000i64..1_000_000_000) {
+            let (ma, mb) = (Money::from_micros(a), Money::from_micros(b));
+            prop_assert_eq!(ma + mb, mb + ma);
+            prop_assert_eq!((ma + mb).micros(), a + b);
+        }
+
+        #[test]
+        fn sum_is_order_independent(mut v in proptest::collection::vec(-1_000_000i64..1_000_000, 0..64)) {
+            let forward: Money = v.iter().map(|&x| Money::from_micros(x)).sum();
+            v.reverse();
+            let backward: Money = v.iter().map(|&x| Money::from_micros(x)).sum();
+            prop_assert_eq!(forward, backward);
+        }
+
+        #[test]
+        fn dollars_round_trip_within_half_micro(d in -1.0e6f64..1.0e6) {
+            let m = Money::from_dollars(d);
+            prop_assert!((m.as_dollars() - d).abs() <= 0.5e-6 + 1e-12);
+        }
+
+        #[test]
+        fn scale_one_is_identity(micros in -1_000_000_000i64..1_000_000_000) {
+            let m = Money::from_micros(micros);
+            prop_assert_eq!(m.scale(1.0), m);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Storage tiers (the paper's "types of storage", Γ).
+//!
+//! The paper evaluates against Microsoft Azure's three blob tiers — hot, cool
+//! ("cold" in the paper's terminology), and archive — and notes the
+//! formulation extends to any tier count ("Γ can be easily adjusted for
+//! multiple CSPs", §4.2.1). [`Tier`] is the fixed three-tier enum used by the
+//! default experiments; [`TierSet`] supports policies with an arbitrary
+//! number of tiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of storage tiers in the default (Azure-like) policy, the paper's Γ.
+pub const TIER_COUNT: usize = 3;
+
+/// A storage tier of the default three-tier (Azure-like) policy.
+///
+/// Ordering is from most access-optimized to most storage-optimized:
+/// `Hot < Cool < Archive`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+#[repr(u8)]
+pub enum Tier {
+    /// Frequent access: cheapest operations, most expensive storage.
+    Hot = 0,
+    /// Infrequent access (the paper's "cold"): cheaper storage, pricier ops.
+    Cool = 1,
+    /// Rare access: cheapest storage, most expensive operations/retrieval.
+    Archive = 2,
+}
+
+impl Tier {
+    /// All tiers, in index order.
+    pub const ALL: [Tier; TIER_COUNT] = [Tier::Hot, Tier::Cool, Tier::Archive];
+
+    /// The tier's dense index in `0..TIER_COUNT`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The tier with the given dense index, if in range.
+    #[must_use]
+    pub const fn from_index(index: usize) -> Option<Tier> {
+        match index {
+            0 => Some(Tier::Hot),
+            1 => Some(Tier::Cool),
+            2 => Some(Tier::Archive),
+            _ => None,
+        }
+    }
+
+    /// Iterator over all tiers.
+    pub fn all() -> impl Iterator<Item = Tier> {
+        Self::ALL.into_iter()
+    }
+
+    /// Human-readable lowercase name, matching the paper's figures.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Tier::Hot => "hot",
+            Tier::Cool => "cold",
+            Tier::Archive => "archive",
+        }
+    }
+
+    /// `true` when moving `self -> to` goes toward colder storage
+    /// (hot→cool, hot→archive, cool→archive).
+    #[must_use]
+    pub const fn is_demotion_to(self, to: Tier) -> bool {
+        (to as u8) > (self as u8)
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of tiers of arbitrary cardinality Γ, for multi-CSP policies.
+///
+/// Tiers are identified by dense indices `0..len()`; index 0 is by convention
+/// the most access-optimized tier. The default experiments use
+/// `TierSet::standard()`, which mirrors [`Tier::ALL`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierSet {
+    names: Vec<String>,
+}
+
+impl TierSet {
+    /// Creates a tier set from tier names. Panics if empty.
+    #[must_use]
+    pub fn new(names: Vec<String>) -> Self {
+        assert!(!names.is_empty(), "a tier set must contain at least one tier");
+        TierSet { names }
+    }
+
+    /// The standard Azure-like three-tier set.
+    #[must_use]
+    pub fn standard() -> Self {
+        TierSet {
+            names: Tier::ALL.iter().map(|t| t.name().to_owned()).collect(),
+        }
+    }
+
+    /// Number of tiers (the paper's Γ).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if the set has no tiers (never true for constructed sets).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of tier `index`, if in range.
+    #[must_use]
+    pub fn name(&self, index: usize) -> Option<&str> {
+        self.names.get(index).map(String::as_str)
+    }
+
+    /// Iterator over `(index, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for tier in Tier::all() {
+            assert_eq!(Tier::from_index(tier.index()), Some(tier));
+        }
+        assert_eq!(Tier::from_index(3), None);
+        assert_eq!(Tier::from_index(usize::MAX), None);
+    }
+
+    #[test]
+    fn ordering_is_hot_to_archive() {
+        assert!(Tier::Hot < Tier::Cool);
+        assert!(Tier::Cool < Tier::Archive);
+    }
+
+    #[test]
+    fn demotion_detection() {
+        assert!(Tier::Hot.is_demotion_to(Tier::Cool));
+        assert!(Tier::Hot.is_demotion_to(Tier::Archive));
+        assert!(Tier::Cool.is_demotion_to(Tier::Archive));
+        assert!(!Tier::Cool.is_demotion_to(Tier::Hot));
+        assert!(!Tier::Hot.is_demotion_to(Tier::Hot));
+        assert!(!Tier::Archive.is_demotion_to(Tier::Cool));
+    }
+
+    #[test]
+    fn names_match_paper_terms() {
+        assert_eq!(Tier::Hot.to_string(), "hot");
+        assert_eq!(Tier::Cool.to_string(), "cold");
+        assert_eq!(Tier::Archive.to_string(), "archive");
+    }
+
+    #[test]
+    fn standard_tier_set_matches_enum() {
+        let set = TierSet::standard();
+        assert_eq!(set.len(), TIER_COUNT);
+        assert!(!set.is_empty());
+        for tier in Tier::all() {
+            assert_eq!(set.name(tier.index()), Some(tier.name()));
+        }
+        assert_eq!(set.name(3), None);
+    }
+
+    #[test]
+    fn custom_tier_set() {
+        let set = TierSet::new(vec!["premium".into(), "standard".into()]);
+        assert_eq!(set.len(), 2);
+        let pairs: Vec<_> = set.iter().collect();
+        assert_eq!(pairs, vec![(0, "premium"), (1, "standard")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn empty_tier_set_panics() {
+        let _ = TierSet::new(vec![]);
+    }
+}

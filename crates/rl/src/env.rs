@@ -1,0 +1,183 @@
+//! The MDP environment interface.
+
+/// One environment transition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Step {
+    /// State after the action.
+    pub next_state: Vec<f64>,
+    /// Immediate reward (the paper's Eq. 4).
+    pub reward: f64,
+    /// `true` when the episode ended (bootstrap value is zero).
+    pub done: bool,
+}
+
+/// A Markov decision process with a discrete action space.
+///
+/// Implementations must be `Send` so A3C workers can own one each.
+pub trait Env: Send {
+    /// Dimensionality of the state feature vector.
+    fn state_dim(&self) -> usize;
+
+    /// Number of discrete actions (the paper's Γ tier count).
+    fn n_actions(&self) -> usize;
+
+    /// Resets to an initial state and returns its features.
+    fn reset(&mut self) -> Vec<f64>;
+
+    /// Applies `action` and advances one decision step.
+    ///
+    /// Panics if `action >= n_actions()`.
+    fn step(&mut self, action: usize) -> Step;
+
+    /// The action an oracle (the paper's *Optimal* offline solver) would
+    /// take in the current state, when the environment can compute it.
+    /// Drives the optimal-action-rate metric of Figs. 9–11.
+    fn optimal_action(&self) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_envs {
+    use super::*;
+
+    /// A two-state, two-action chain: action 0 keeps reward 0, action 1
+    /// yields reward 1 and ends the episode. Optimal action is always 1.
+    pub struct Bandit {
+        pub steps: usize,
+    }
+
+    impl Env for Bandit {
+        fn state_dim(&self) -> usize {
+            1
+        }
+
+        fn n_actions(&self) -> usize {
+            2
+        }
+
+        fn reset(&mut self) -> Vec<f64> {
+            self.steps = 0;
+            vec![1.0]
+        }
+
+        fn step(&mut self, action: usize) -> Step {
+            assert!(action < 2);
+            self.steps += 1;
+            Step {
+                next_state: vec![1.0],
+                reward: if action == 1 { 1.0 } else { 0.0 },
+                done: self.steps >= 4,
+            }
+        }
+
+        fn optimal_action(&self) -> Option<usize> {
+            Some(1)
+        }
+    }
+
+    /// A state-dependent environment: two observable contexts that demand
+    /// opposite actions. Tests that policies actually condition on state.
+    pub struct ContextualBandit {
+        pub context: usize,
+        pub steps: usize,
+    }
+
+    impl Env for ContextualBandit {
+        fn state_dim(&self) -> usize {
+            2
+        }
+
+        fn n_actions(&self) -> usize {
+            2
+        }
+
+        fn reset(&mut self) -> Vec<f64> {
+            self.steps = 0;
+            self.context = 0;
+            vec![1.0, 0.0]
+        }
+
+        fn step(&mut self, action: usize) -> Step {
+            assert!(action < 2);
+            let reward = if action == self.context { 1.0 } else { -1.0 };
+            self.steps += 1;
+            self.context = (self.context + 1) % 2;
+            let state = if self.context == 0 {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            };
+            Step { next_state: state, reward, done: self.steps >= 8 }
+        }
+
+        fn optimal_action(&self) -> Option<usize> {
+            Some(self.context)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_envs::*;
+    use super::*;
+
+    #[test]
+    fn bandit_rewards_action_one() {
+        let mut env = Bandit { steps: 0 };
+        let s0 = env.reset();
+        assert_eq!(s0, vec![1.0]);
+        assert_eq!(env.state_dim(), 1);
+        assert_eq!(env.n_actions(), 2);
+        assert_eq!(env.optimal_action(), Some(1));
+        let step = env.step(1);
+        assert_eq!(step.reward, 1.0);
+        assert!(!step.done);
+        let step = env.step(0);
+        assert_eq!(step.reward, 0.0);
+    }
+
+    #[test]
+    fn bandit_episode_terminates() {
+        let mut env = Bandit { steps: 0 };
+        env.reset();
+        for i in 0..4 {
+            let step = env.step(0);
+            assert_eq!(step.done, i == 3);
+        }
+    }
+
+    #[test]
+    fn contextual_bandit_alternates_optimal_action() {
+        let mut env = ContextualBandit { context: 0, steps: 0 };
+        let s = env.reset();
+        assert_eq!(s, vec![1.0, 0.0]);
+        assert_eq!(env.optimal_action(), Some(0));
+        let step = env.step(0);
+        assert_eq!(step.reward, 1.0);
+        assert_eq!(step.next_state, vec![0.0, 1.0]);
+        assert_eq!(env.optimal_action(), Some(1));
+        let step = env.step(0);
+        assert_eq!(step.reward, -1.0);
+    }
+
+    #[test]
+    fn default_optimal_action_is_none() {
+        struct Dumb;
+        impl Env for Dumb {
+            fn state_dim(&self) -> usize {
+                1
+            }
+            fn n_actions(&self) -> usize {
+                1
+            }
+            fn reset(&mut self) -> Vec<f64> {
+                vec![0.0]
+            }
+            fn step(&mut self, _action: usize) -> Step {
+                Step { next_state: vec![0.0], reward: 0.0, done: true }
+            }
+        }
+        assert_eq!(Dumb.optimal_action(), None);
+    }
+}

@@ -1,0 +1,34 @@
+//! Reinforcement-learning substrate: the MDP interface, actor-critic
+//! networks, replay memory, and an asynchronous advantage actor-critic
+//! (A3C-style) trainer.
+//!
+//! The paper (§5.1) trains two DQNs — an actor network producing the policy
+//! `π_η(s, a)` and a critic network producing the state value `V(s)` — with
+//! asynchronous workers, advantage-based policy gradients (Eqs. 10–12), a
+//! replay memory sampled uniformly (Algorithm 1 line 7), and ε-greedy
+//! exploration. This crate reproduces that machinery on CPU threads:
+//! each worker owns thread-local copies of both networks, pulls the latest
+//! shared parameters before every update, and pushes gradients into a
+//! shared [`ParamStore`] that applies them Hogwild-style under a lock.
+//!
+//! The crate is deliberately independent of the storage-tiering domain:
+//! anything implementing [`Env`] can be trained. `minicost-core` provides
+//! the tiering environment.
+
+#![warn(missing_docs)]
+
+pub mod a3c;
+pub mod actor_critic;
+pub mod dqn;
+pub mod env;
+pub mod memory;
+pub mod metrics;
+pub mod params;
+
+pub use a3c::{A3cConfig, A3cTrainer, ProgressPoint, TrainResult};
+pub use actor_critic::{ActorCritic, NetSpec};
+pub use dqn::{train_dqn, DqnConfig, DqnResult};
+pub use env::{Env, Step};
+pub use memory::{ReplayMemory, Transition};
+pub use metrics::{convergence_step, RollingRate};
+pub use params::ParamStore;

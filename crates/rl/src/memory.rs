@@ -1,0 +1,174 @@
+//! Replay memory (Algorithm 1, lines 1 and 7 of the paper).
+
+use rand::{Rng, RngExt};
+use std::collections::VecDeque;
+
+/// One stored transition `(s_t, a_t, r_t, s_{t+1})`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Transition {
+    /// State features.
+    pub state: Vec<f64>,
+    /// Action index taken.
+    pub action: usize,
+    /// Immediate reward.
+    pub reward: f64,
+    /// Next-state features.
+    pub next_state: Vec<f64>,
+    /// Whether the episode ended at this transition.
+    pub done: bool,
+    /// The oracle's action in `state`, when the environment exposes one
+    /// (drives the optimal-action-rate metric and optional imitation).
+    pub oracle: Option<usize>,
+}
+
+/// A bounded FIFO replay buffer with uniform random sampling.
+#[derive(Clone, Debug)]
+pub struct ReplayMemory {
+    capacity: usize,
+    buffer: VecDeque<Transition>,
+}
+
+impl ReplayMemory {
+    /// Creates a memory holding at most `capacity` transitions.
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> ReplayMemory {
+        assert!(capacity > 0, "capacity must be positive");
+        ReplayMemory { capacity, buffer: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Stores a transition, evicting the oldest when full.
+    pub fn push(&mut self, transition: Transition) {
+        if self.buffer.len() == self.capacity {
+            self.buffer.pop_front();
+        }
+        self.buffer.push_back(transition);
+    }
+
+    /// Number of stored transitions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// `true` when no transitions are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Maximum capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Uniformly samples `batch` transitions with replacement
+    /// (Algorithm 1: "Randomly select a set of actions ... from the memory").
+    /// Returns fewer (cloned) items only when the memory is empty.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(&self, batch: usize, rng: &mut R) -> Vec<Transition> {
+        if self.buffer.is_empty() {
+            return Vec::new();
+        }
+        (0..batch)
+            .map(|_| self.buffer[rng.random_range(0..self.buffer.len())].clone())
+            .collect()
+    }
+
+    /// Drops all stored transitions.
+    pub fn clear(&mut self) {
+        self.buffer.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(tag: f64) -> Transition {
+        Transition {
+            state: vec![tag],
+            action: 0,
+            reward: tag,
+            next_state: vec![tag + 1.0],
+            done: false, oracle: None }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut m = ReplayMemory::new(3);
+        assert!(m.is_empty());
+        m.push(t(1.0));
+        m.push(t(2.0));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.capacity(), 3);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut m = ReplayMemory::new(2);
+        m.push(t(1.0));
+        m.push(t(2.0));
+        m.push(t(3.0));
+        assert_eq!(m.len(), 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rewards: Vec<f64> = m.sample(100, &mut rng).iter().map(|x| x.reward).collect();
+        assert!(rewards.iter().all(|&r| r == 2.0 || r == 3.0));
+        assert!(rewards.contains(&2.0) && rewards.contains(&3.0));
+    }
+
+    #[test]
+    fn sample_from_empty_is_empty() {
+        let m = ReplayMemory::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(m.sample(8, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sample_is_uniformish() {
+        let mut m = ReplayMemory::new(10);
+        for i in 0..10 {
+            m.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = m.sample(10_000, &mut rng);
+        let mut counts = [0usize; 10];
+        for s in &samples {
+            counts[s.reward as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - 1000.0).abs() < 150.0,
+                "slot {i} sampled {c} times"
+            );
+        }
+    }
+
+    #[test]
+    fn clear_empties_buffer() {
+        let mut m = ReplayMemory::new(4);
+        m.push(t(1.0));
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReplayMemory::new(0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut m = ReplayMemory::new(8);
+        for i in 0..8 {
+            m.push(t(i as f64));
+        }
+        let a = m.sample(5, &mut StdRng::seed_from_u64(3));
+        let b = m.sample(5, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

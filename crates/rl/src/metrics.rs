@@ -1,0 +1,169 @@
+//! Training metrics: optimal-action-rate tracking and convergence detection
+//! (the y-axes of the paper's Figs. 9–11).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A rolling hit-rate over the last `window` boolean observations —
+/// the "optimal action rate" when fed `agent_action == optimal_action`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RollingRate {
+    window: usize,
+    hits: VecDeque<bool>,
+    hit_count: usize,
+}
+
+impl RollingRate {
+    /// Creates a tracker over a window of `window` observations.
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(window: usize) -> RollingRate {
+        assert!(window > 0, "window must be positive");
+        RollingRate { window, hits: VecDeque::with_capacity(window), hit_count: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, hit: bool) {
+        if self.hits.len() == self.window
+            && self.hits.pop_front() == Some(true) {
+                self.hit_count -= 1;
+            }
+        self.hits.push_back(hit);
+        if hit {
+            self.hit_count += 1;
+        }
+    }
+
+    /// Current rate in `[0, 1]`; 0.0 before any observation.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.hits.is_empty() {
+            0.0
+        } else {
+            self.hit_count as f64 / self.hits.len() as f64
+        }
+    }
+
+    /// Number of recorded observations currently in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// `true` before the first observation.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// `true` once the window is fully populated.
+    #[must_use]
+    pub fn is_warm(&self) -> bool {
+        self.hits.len() == self.window
+    }
+}
+
+/// The first index at which `rates` reaches `threshold` and stays at or
+/// above it for the rest of the series ("converged", Fig. 9's y-axis).
+/// Returns `None` when the series never converges.
+#[must_use]
+pub fn convergence_step(rates: &[f64], threshold: f64) -> Option<usize> {
+    let mut candidate = None;
+    for (i, &r) in rates.iter().enumerate() {
+        if r >= threshold {
+            if candidate.is_none() {
+                candidate = Some(i);
+            }
+        } else {
+            candidate = None;
+        }
+    }
+    candidate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rate_over_partial_window() {
+        let mut r = RollingRate::new(4);
+        assert_eq!(r.rate(), 0.0);
+        assert!(r.is_empty());
+        r.record(true);
+        r.record(false);
+        assert_eq!(r.rate(), 0.5);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_warm());
+    }
+
+    #[test]
+    fn rolling_eviction() {
+        let mut r = RollingRate::new(2);
+        r.record(true);
+        r.record(true);
+        assert_eq!(r.rate(), 1.0);
+        assert!(r.is_warm());
+        r.record(false);
+        // Window now [true, false].
+        assert_eq!(r.rate(), 0.5);
+        r.record(false);
+        assert_eq!(r.rate(), 0.0);
+    }
+
+    #[test]
+    fn convergence_finds_stable_crossing() {
+        let rates = [0.1, 0.95, 0.2, 0.9, 0.92, 0.99];
+        // The early 0.95 does not stick; convergence starts at index 3.
+        assert_eq!(convergence_step(&rates, 0.9), Some(3));
+    }
+
+    #[test]
+    fn convergence_none_when_never_reached() {
+        assert_eq!(convergence_step(&[0.1, 0.5, 0.89], 0.9), None);
+        assert_eq!(convergence_step(&[], 0.9), None);
+    }
+
+    #[test]
+    fn convergence_at_zero_threshold_is_immediate() {
+        assert_eq!(convergence_step(&[0.0, 0.0], 0.0), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = RollingRate::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn rate_always_in_unit_interval(
+            observations in proptest::collection::vec(any::<bool>(), 0..100),
+            window in 1usize..20,
+        ) {
+            let mut r = RollingRate::new(window);
+            for o in observations {
+                r.record(o);
+                prop_assert!((0.0..=1.0).contains(&r.rate()));
+                prop_assert!(r.len() <= window);
+            }
+        }
+
+        #[test]
+        fn convergence_suffix_property(
+            rates in proptest::collection::vec(0.0f64..1.0, 1..50),
+            threshold in 0.0f64..1.0,
+        ) {
+            if let Some(step) = convergence_step(&rates, threshold) {
+                prop_assert!(rates[step..].iter().all(|&r| r >= threshold));
+                if step > 0 {
+                    prop_assert!(rates[step - 1] < threshold);
+                }
+            } else {
+                // Not converged: the last element must be below threshold.
+                prop_assert!(rates.last().copied().unwrap_or(0.0) < threshold);
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Trace generator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's Fig. 2 bucket mix: fraction of files whose normalized daily
+/// request-frequency standard deviation falls in
+/// `[0, 0.1), [0.1, 0.3), [0.3, 0.5), [0.5, 0.8), [0.8, inf)`.
+pub const PAPER_BUCKET_MIX: [f64; 5] = [0.8175, 0.0993, 0.0539, 0.023, 0.0063];
+
+/// CV sampling range for each bucket: files assigned to a bucket draw their
+/// target CV uniformly from this range. The top bucket is open-ended in the
+/// paper; 1.6 caps it at a level that still produces order-of-magnitude
+/// bursts over a two-month trace.
+pub const BUCKET_CV_RANGES: [(f64, f64); 5] =
+    [(0.02, 0.095), (0.105, 0.295), (0.305, 0.495), (0.505, 0.795), (0.82, 1.6)];
+
+/// Configuration of the synthetic trace generator.
+///
+/// Defaults reproduce the paper's setup at a laptop-friendly scale: the full
+/// experiment scale (4M files) is a matter of raising `files`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of data files.
+    pub files: usize,
+    /// Number of trace days. The paper collected ~63 days (Jul 15–Sep 15)
+    /// and uses 7-day decision periods.
+    pub days: usize,
+    /// RNG seed; every draw in the generator derives from it.
+    pub seed: u64,
+    /// Fraction of files per CV bucket (must sum to ~1). Defaults to the
+    /// paper's Fig. 2 mix.
+    pub bucket_mix: [f64; 5],
+    /// Mean file size in MB; sizes are Poisson-distributed per §3.1.
+    pub mean_size_mb: f64,
+    /// Ceiling on per-file mean daily reads (the most viral page).
+    pub peak_daily_reads: f64,
+    /// Floor on per-file mean daily reads (dormant pages).
+    pub min_daily_reads: f64,
+    /// Median of the per-file mean daily read rate. Popularity follows a
+    /// log-normal law (what a uniformly subsampled Zipf population looks
+    /// like): most files see little traffic, a heavy tail sees a lot.
+    pub median_daily_reads: f64,
+    /// Standard deviation of log10(mean daily reads) around the median.
+    pub popularity_sigma: f64,
+    /// Per-bucket multiplier on the popularity median. Bursty pages are the
+    /// trending/viral ones and carry more traffic — the paper's Fig. 8
+    /// (per-bucket cost rising with variability) only holds when
+    /// variability correlates with traffic.
+    pub bucket_popularity_boost: [f64; 5],
+    /// Weekly seasonality amplitude share: fraction of a file's variability
+    /// budget carried by the deterministic 7-day cycle (the rest is noise).
+    pub seasonal_share: f64,
+    /// Write operations as a fraction of reads (web workloads are
+    /// read-dominated).
+    pub write_ratio: f64,
+    /// When `true`, daily counts are Poisson-sampled around their expected
+    /// value (extra shot noise); when `false` (default) they are rounded,
+    /// keeping realized CVs tightly calibrated to the bucket targets.
+    pub poisson_counts: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            files: 20_000,
+            days: 63,
+            seed: 20200817, // the paper's ICPP presentation date
+            bucket_mix: PAPER_BUCKET_MIX,
+            mean_size_mb: 100.0,
+            peak_daily_reads: 50_000.0,
+            min_daily_reads: 0.2,
+            median_daily_reads: 10.0,
+            popularity_sigma: 1.2,
+            bucket_popularity_boost: [1.0, 1.5, 2.5, 4.0, 1.0],
+            seasonal_share: 0.5,
+            write_ratio: 0.02,
+            poisson_counts: false,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A small configuration for unit tests and doc examples.
+    #[must_use]
+    pub fn small(files: usize, days: usize, seed: u64) -> Self {
+        TraceConfig { files, days, seed, ..TraceConfig::default() }
+    }
+
+    /// Validates invariants; returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.files == 0 {
+            return Err("files must be > 0".into());
+        }
+        if self.days == 0 {
+            return Err("days must be > 0".into());
+        }
+        let mix_sum: f64 = self.bucket_mix.iter().sum();
+        if (mix_sum - 1.0).abs() > 0.01 {
+            return Err(format!("bucket_mix must sum to 1.0 (got {mix_sum})"));
+        }
+        if self.bucket_mix.iter().any(|&p| p < 0.0) {
+            return Err("bucket_mix entries must be non-negative".into());
+        }
+        if self.mean_size_mb <= 0.0 {
+            return Err("mean_size_mb must be positive".into());
+        }
+        if self.peak_daily_reads < self.min_daily_reads {
+            return Err("peak_daily_reads must be >= min_daily_reads".into());
+        }
+        if !(0.0..=1.0).contains(&self.seasonal_share) {
+            return Err("seasonal_share must be in [0, 1]".into());
+        }
+        if self.write_ratio < 0.0 {
+            return Err("write_ratio must be non-negative".into());
+        }
+        if self.median_daily_reads <= 0.0 {
+            return Err("median_daily_reads must be positive".into());
+        }
+        if self.popularity_sigma < 0.0 {
+            return Err("popularity_sigma must be non-negative".into());
+        }
+        if self.bucket_popularity_boost.iter().any(|&b| b <= 0.0) {
+            return Err("bucket_popularity_boost entries must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper_mix() {
+        let cfg = TraceConfig::default();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.bucket_mix, PAPER_BUCKET_MIX);
+        let sum: f64 = PAPER_BUCKET_MIX.iter().sum();
+        assert!((sum - 1.0).abs() < 0.01, "paper mix sums to {sum}");
+    }
+
+    #[test]
+    fn bucket_ranges_nest_inside_bucket_edges() {
+        let edges = [0.0, 0.1, 0.3, 0.5, 0.8, f64::INFINITY];
+        for (i, &(lo, hi)) in BUCKET_CV_RANGES.iter().enumerate() {
+            assert!(lo > edges[i], "bucket {i} low {lo} vs edge {}", edges[i]);
+            assert!(hi < edges[i + 1], "bucket {i} high {hi}");
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let base = TraceConfig::default();
+        assert!(TraceConfig { files: 0, ..base.clone() }.validate().is_err());
+        assert!(TraceConfig { days: 0, ..base.clone() }.validate().is_err());
+        assert!(
+            TraceConfig { bucket_mix: [0.5, 0.0, 0.0, 0.0, 0.0], ..base.clone() }
+                .validate()
+                .is_err()
+        );
+        assert!(TraceConfig { mean_size_mb: 0.0, ..base.clone() }.validate().is_err());
+        assert!(TraceConfig { seasonal_share: 1.5, ..base.clone() }.validate().is_err());
+        assert!(TraceConfig { write_ratio: -0.1, ..base.clone() }.validate().is_err());
+        assert!(
+            TraceConfig { peak_daily_reads: 0.1, min_daily_reads: 1.0, ..base }
+                .validate()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn small_builder_overrides_scale_only() {
+        let cfg = TraceConfig::small(10, 7, 1);
+        assert_eq!(cfg.files, 10);
+        assert_eq!(cfg.days, 7);
+        assert_eq!(cfg.seed, 1);
+        assert_eq!(cfg.bucket_mix, PAPER_BUCKET_MIX);
+    }
+}

@@ -1,0 +1,221 @@
+//! Hourly resolution.
+//!
+//! The paper's source trace is *hourly* page views, re-binned to daily
+//! counts because "the payment made to CSP is calculated by days" (§6.1).
+//! This module provides that last mile: expanding a daily series into
+//! hourly counts under a diurnal profile (for workloads that need
+//! sub-day structure, e.g. latency-aware extensions), and re-binning
+//! hourly data back to days (for ingesting real hourly dumps through
+//! [`crate::io`]).
+
+use crate::file::FileSeries;
+use crate::sampling;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hours per day.
+pub const HOURS: usize = 24;
+
+/// A normalized diurnal profile: fraction of a day's requests per hour.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiurnalProfile {
+    weights: [f64; HOURS],
+}
+
+impl DiurnalProfile {
+    /// Builds a profile from relative hourly weights (normalized
+    /// internally). Panics if any weight is negative or all are zero.
+    #[must_use]
+    pub fn new(raw: [f64; HOURS]) -> DiurnalProfile {
+        assert!(raw.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        let total: f64 = raw.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut weights = raw;
+        for w in &mut weights {
+            *w /= total;
+        }
+        DiurnalProfile { weights }
+    }
+
+    /// Flat profile: every hour carries 1/24 of the day.
+    #[must_use]
+    pub fn flat() -> DiurnalProfile {
+        DiurnalProfile { weights: [1.0 / HOURS as f64; HOURS] }
+    }
+
+    /// A web-traffic-like profile: a broad daytime plateau peaking in the
+    /// evening, a deep night trough (single-sinusoid approximation of
+    /// published Wikipedia load curves).
+    #[must_use]
+    pub fn web_default() -> DiurnalProfile {
+        let mut raw = [0.0; HOURS];
+        for (hour, w) in raw.iter_mut().enumerate() {
+            // Peak at 20:00, trough at 08:00 shifted-phase sinusoid.
+            let phase = std::f64::consts::TAU * (hour as f64 - 20.0) / HOURS as f64;
+            *w = 1.0 + 0.75 * phase.cos();
+        }
+        DiurnalProfile::new(raw)
+    }
+
+    /// Fraction of daily traffic in hour `h`.
+    #[must_use]
+    pub fn weight(&self, hour: usize) -> f64 {
+        self.weights[hour]
+    }
+
+    /// Splits `total` daily requests into 24 hourly counts that sum exactly
+    /// to `total` (largest-remainder apportionment of the expected values,
+    /// with optional Poisson jitter from `rng`).
+    #[must_use]
+    pub fn split_day(&self, total: u64, jitter: Option<&mut StdRng>) -> [u64; HOURS] {
+        let mut out = [0u64; HOURS];
+        if total == 0 {
+            return out;
+        }
+        // Expected per-hour counts (optionally jittered), then scale back
+        // to the exact total via largest remainders.
+        let mut expected: Vec<f64> = self
+            .weights
+            .iter()
+            .map(|&w| w * total as f64)
+            .collect();
+        if let Some(rng) = jitter {
+            for e in &mut expected {
+                *e = sampling::poisson(rng, *e) as f64;
+            }
+            let sum: f64 = expected.iter().sum();
+            if sum > 0.0 {
+                let scale = total as f64 / sum;
+                for e in &mut expected {
+                    *e *= scale;
+                }
+            } else {
+                expected = self.weights.iter().map(|&w| w * total as f64).collect();
+            }
+        }
+        let mut assigned = 0u64;
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(HOURS);
+        for (h, &e) in expected.iter().enumerate() {
+            let floor = e.floor() as u64;
+            out[h] = floor;
+            assigned += floor;
+            remainders.push((h, e - e.floor()));
+        }
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders"));
+        let mut leftover = total - assigned;
+        for (h, _) in remainders {
+            if leftover == 0 {
+                break;
+            }
+            out[h] += 1;
+            leftover -= 1;
+        }
+        out
+    }
+}
+
+/// A file's hourly read counts (`days x 24`, row-major by day).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HourlySeries {
+    /// Hourly read counts, `day * 24 + hour` indexed.
+    pub reads: Vec<u64>,
+}
+
+impl HourlySeries {
+    /// Expands a daily series under `profile`, seeded per file so the
+    /// expansion is deterministic.
+    #[must_use]
+    pub fn expand(file: &FileSeries, profile: &DiurnalProfile, seed: u64) -> HourlySeries {
+        let mut rng = StdRng::seed_from_u64(seed ^ u64::from(file.id.0) << 16);
+        let mut reads = Vec::with_capacity(file.days() * HOURS);
+        for &daily in &file.reads {
+            reads.extend(profile.split_day(daily, Some(&mut rng)));
+        }
+        HourlySeries { reads }
+    }
+
+    /// Number of whole days covered.
+    #[must_use]
+    pub fn days(&self) -> usize {
+        self.reads.len() / HOURS
+    }
+
+    /// Re-bins to daily counts — the paper's §6.1 preprocessing step.
+    #[must_use]
+    pub fn rebin_daily(&self) -> Vec<u64> {
+        self.reads
+            .chunks(HOURS)
+            .map(|day| day.iter().sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TraceConfig;
+    use crate::workload::Trace;
+
+    #[test]
+    fn profiles_are_normalized() {
+        for profile in [DiurnalProfile::flat(), DiurnalProfile::web_default()] {
+            let total: f64 = (0..HOURS).map(|h| profile.weight(h)).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn web_profile_peaks_in_the_evening() {
+        let p = DiurnalProfile::web_default();
+        assert!(p.weight(20) > p.weight(8), "evening must out-weigh morning trough");
+    }
+
+    #[test]
+    fn split_day_conserves_the_total_exactly() {
+        let p = DiurnalProfile::web_default();
+        for &total in &[0u64, 1, 23, 24, 1000, 999_983] {
+            let hours = p.split_day(total, None);
+            assert_eq!(hours.iter().sum::<u64>(), total, "total {total}");
+        }
+        // With jitter too.
+        let mut rng = StdRng::seed_from_u64(1);
+        let hours = p.split_day(5000, Some(&mut rng));
+        assert_eq!(hours.iter().sum::<u64>(), 5000);
+    }
+
+    #[test]
+    fn expand_then_rebin_is_identity() {
+        let trace = Trace::generate(&TraceConfig::small(10, 7, 31));
+        let profile = DiurnalProfile::web_default();
+        for file in &trace.files {
+            let hourly = HourlySeries::expand(file, &profile, 9);
+            assert_eq!(hourly.days(), file.days());
+            assert_eq!(hourly.rebin_daily(), file.reads, "file {}", file.id);
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_per_seed() {
+        let trace = Trace::generate(&TraceConfig::small(3, 5, 32));
+        let p = DiurnalProfile::web_default();
+        let a = HourlySeries::expand(&trace.files[0], &p, 7);
+        let b = HourlySeries::expand(&trace.files[0], &p, 7);
+        assert_eq!(a, b);
+        let c = HourlySeries::expand(&trace.files[0], &p, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let mut raw = [1.0; HOURS];
+        raw[3] = -0.1;
+        let _ = DiurnalProfile::new(raw);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn zero_profile_rejected() {
+        let _ = DiurnalProfile::new([0.0; HOURS]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Trace import/export.
+//!
+//! The synthetic generator stands in for the paper's Wikipedia pagecounts
+//! dump, but a downstream user with access to a real trace (pagecounts,
+//! CDN logs, object-store access logs) should be able to drive every
+//! experiment with it. This module defines a minimal CSV interchange
+//! format, one row per file:
+//!
+//! ```text
+//! id,size_gb,reads_day0;reads_day1;...,writes_day0;writes_day1;...
+//! ```
+//!
+//! plus JSON round-tripping helpers (the whole [`Trace`] is `serde`).
+
+use crate::file::{FileId, FileSeries};
+use crate::workload::Trace;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Writes `trace` as interchange CSV.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: Write>(trace: &Trace, writer: W) -> std::io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "id,size_gb,reads,writes")?;
+    for file in &trace.files {
+        let reads: Vec<String> = file.reads.iter().map(u64::to_string).collect();
+        let writes: Vec<String> = file.writes.iter().map(u64::to_string).collect();
+        writeln!(
+            out,
+            "{},{},{},{}",
+            file.id.0,
+            file.size_gb,
+            reads.join(";"),
+            writes.join(";")
+        )?;
+    }
+    out.flush()
+}
+
+/// Errors from [`read_csv`].
+#[derive(Debug)]
+pub enum TraceReadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed row, with its 1-based line number and a description.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceReadError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceReadError::Parse(line, msg) => write!(f, "trace line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {}
+
+impl From<std::io::Error> for TraceReadError {
+    fn from(e: std::io::Error) -> Self {
+        TraceReadError::Io(e)
+    }
+}
+
+/// Reads a trace from interchange CSV (as written by [`write_csv`]).
+///
+/// Files are re-identified densely in row order; all series must share one
+/// day count.
+///
+/// # Errors
+/// Returns [`TraceReadError`] on I/O failure or any malformed row.
+pub fn read_csv<R: Read>(reader: R) -> Result<Trace, TraceReadError> {
+    let input = BufReader::new(reader);
+    let mut files = Vec::new();
+    let mut days: Option<usize> = None;
+    for (ix, line) in input.lines().enumerate() {
+        let line = line?;
+        if ix == 0 {
+            if line.trim() != "id,size_gb,reads,writes" {
+                return Err(TraceReadError::Parse(1, format!("bad header {line:?}")));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = ix + 1;
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(TraceReadError::Parse(row, format!("expected 4 fields, got {}", fields.len())));
+        }
+        let size_gb: f64 = fields[1]
+            .parse()
+            .map_err(|e| TraceReadError::Parse(row, format!("size_gb: {e}")))?;
+        if !size_gb.is_finite() || size_gb < 0.0 {
+            return Err(TraceReadError::Parse(row, format!("size_gb out of range: {size_gb}")));
+        }
+        let parse_series = |field: &str, name: &str| -> Result<Vec<u64>, TraceReadError> {
+            if field.is_empty() {
+                return Ok(Vec::new());
+            }
+            field
+                .split(';')
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|e| TraceReadError::Parse(row, format!("{name}: {v:?}: {e}")))
+                })
+                .collect()
+        };
+        let reads = parse_series(fields[2], "reads")?;
+        let writes = parse_series(fields[3], "writes")?;
+        if reads.len() != writes.len() {
+            return Err(TraceReadError::Parse(
+                row,
+                format!("reads ({}) and writes ({}) differ", reads.len(), writes.len()),
+            ));
+        }
+        match days {
+            None => days = Some(reads.len()),
+            Some(d) if d != reads.len() => {
+                return Err(TraceReadError::Parse(
+                    row,
+                    format!("series length {} != trace days {d}", reads.len()),
+                ))
+            }
+            _ => {}
+        }
+        files.push(FileSeries {
+            id: FileId(files.len() as u32),
+            size_gb,
+            reads,
+            writes,
+        });
+    }
+    Ok(Trace { days: days.unwrap_or(0), files })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TraceConfig;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn arbitrary_traces_round_trip(
+            series in proptest::collection::vec(
+                proptest::collection::vec(0u64..1_000_000, 4), 0..12),
+            size_milli_gb in 1u32..10_000,
+        ) {
+            let files = series
+                .iter()
+                .enumerate()
+                .map(|(i, reads)| FileSeries {
+                    id: FileId(i as u32),
+                    size_gb: f64::from(size_milli_gb) / 1000.0,
+                    reads: reads.clone(),
+                    writes: reads.iter().map(|r| r / 7).collect(),
+                })
+                .collect();
+            let trace = Trace { days: if series.is_empty() { 0 } else { 4 }, files };
+            let mut buffer = Vec::new();
+            write_csv(&trace, &mut buffer).unwrap();
+            let back = read_csv(buffer.as_slice()).unwrap();
+            prop_assert_eq!(back.files.len(), trace.files.len());
+            for (a, b) in trace.files.iter().zip(&back.files) {
+                prop_assert_eq!(&a.reads, &b.reads);
+                prop_assert_eq!(&a.writes, &b.writes);
+                prop_assert!((a.size_gb - b.size_gb).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_series() {
+        let trace = Trace::generate(&TraceConfig::small(25, 10, 77));
+        let mut buffer = Vec::new();
+        write_csv(&trace, &mut buffer).unwrap();
+        let back = read_csv(buffer.as_slice()).unwrap();
+        assert_eq!(back.days, trace.days);
+        assert_eq!(back.files.len(), trace.files.len());
+        for (a, b) in trace.files.iter().zip(&back.files) {
+            assert_eq!(a.reads, b.reads);
+            assert_eq!(a.writes, b.writes);
+            assert!((a.size_gb - b.size_gb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace { days: 0, files: vec![] };
+        let mut buffer = Vec::new();
+        write_csv(&trace, &mut buffer).unwrap();
+        let back = read_csv(buffer.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_csv("wrong,header\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceReadError::Parse(1, _)), "{err}");
+    }
+
+    #[test]
+    fn rejects_ragged_series() {
+        let csv = "id,size_gb,reads,writes\n0,0.1,1;2;3,1;2\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("differ"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mixed_day_counts() {
+        let csv = "id,size_gb,reads,writes\n0,0.1,1;2,0;0\n1,0.1,1;2;3,0;0;0\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("trace days"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_values() {
+        let csv = "id,size_gb,reads,writes\n0,lots,1,0\n";
+        assert!(read_csv(csv.as_bytes()).is_err());
+        let csv = "id,size_gb,reads,writes\n0,0.1,minus-one,0\n";
+        assert!(read_csv(csv.as_bytes()).is_err());
+        let csv = "id,size_gb,reads,writes\n0,-3.0,1,0\n";
+        assert!(read_csv(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines_and_reindexes() {
+        let csv = "id,size_gb,reads,writes\n99,0.1,1;2,0;0\n\n7,0.2,3;4,0;1\n";
+        let trace = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(trace.files.len(), 2);
+        // Re-identified densely regardless of the id column.
+        assert_eq!(trace.files[0].id, FileId(0));
+        assert_eq!(trace.files[1].id, FileId(1));
+        assert_eq!(trace.files[1].reads, vec![3, 4]);
+    }
+}

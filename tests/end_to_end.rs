@@ -1,0 +1,150 @@
+//! End-to-end integration: generate a calibrated trace, train a MiniCost
+//! agent on the 80% split, evaluate on the held-out 20%, and check the
+//! whole pipeline against the offline optimum — the paper's experimental
+//! protocol (§6.1) in miniature.
+
+use minicost::prelude::*;
+use rl::Env;
+use std::sync::Arc;
+
+fn setup() -> (Trace, CostModel) {
+    let trace = Trace::generate(&TraceConfig {
+        files: 120,
+        days: 35,
+        seed: 2020,
+        ..TraceConfig::default()
+    });
+    (trace, CostModel::new(PricingPolicy::azure_blob_2020()))
+}
+
+#[test]
+fn full_pipeline_train_and_evaluate() {
+    let (trace, model) = setup();
+    let split = trace.split(0.8, 1);
+    assert_eq!(split.train.len() + split.test.len(), trace.len());
+
+    // Train on the training split with a compact budget.
+    let mut cfg = MiniCostConfig::fast();
+    cfg.a3c.total_updates = 600;
+    cfg.a3c.seed = 7;
+    let agent = MiniCost::train(&split.train, &model, &cfg);
+    assert!(agent.result.updates >= 600);
+
+    // Evaluate everything on the held-out split.
+    let sim_cfg = SimConfig::default();
+    let mut rl_policy = agent.policy();
+    let rl = simulate(&split.test, &model, &mut rl_policy, &sim_cfg);
+    let hot = simulate(&split.test, &model, &mut HotPolicy, &sim_cfg);
+    let cold = simulate(&split.test, &model, &mut ColdPolicy, &sim_cfg);
+    let greedy = simulate(&split.test, &model, &mut GreedyPolicy, &sim_cfg);
+    let mut optimal = OptimalPolicy::plan(&split.test, &model, sim_cfg.initial_tier);
+    let opt = simulate(&split.test, &model, &mut optimal, &sim_cfg);
+
+    // Hard invariants: Optimal is the lower bound for everyone.
+    for result in [&rl, &hot, &cold, &greedy] {
+        assert!(
+            opt.total_cost() <= result.total_cost(),
+            "optimal {} must not exceed {} ({})",
+            opt.total_cost(),
+            result.total_cost(),
+            result.policy_name
+        );
+    }
+    // Greedy cannot lose to both static baselines simultaneously.
+    assert!(greedy.total_cost() <= hot.total_cost().max(cold.total_cost()));
+
+    // The trained agent beats at least one static baseline even with this
+    // tiny training budget (the Fig. 7 ordering is asserted at full scale
+    // by the experiment harness; here we check the pipeline is sane).
+    assert!(
+        rl.total_cost() <= hot.total_cost().max(cold.total_cost()),
+        "rl {} vs hot {} cold {}",
+        rl.total_cost(),
+        hot.total_cost(),
+        cold.total_cost()
+    );
+}
+
+#[test]
+fn environment_and_policy_agree_on_features() {
+    // A state produced by the training env must be consumable by the
+    // deployed policy's network: widths stay in lockstep across crates.
+    let (trace, model) = setup();
+    let cfg = MiniCostConfig::fast();
+    let env = TieringEnv::new(
+        Arc::new(trace),
+        Arc::new(model),
+        TieringEnvConfig {
+            features: cfg.features,
+            ..Default::default()
+        },
+    );
+    assert_eq!(env.state_dim(), cfg.net_spec().state_dim());
+    assert_eq!(env.n_actions(), cfg.net_spec().actions);
+}
+
+#[test]
+fn forecast_feeds_trace_analysis() {
+    // The Fig. 4 pipeline: per-bucket ARIMA error percentiles over a trace.
+    use forecast::{Arima, ErrorSummary, Forecaster};
+    use tracegen::analysis::bucket_members;
+
+    let trace = Trace::generate(&TraceConfig {
+        files: 80,
+        days: 28,
+        seed: 5,
+        ..TraceConfig::default()
+    });
+    let members = bucket_members(&trace);
+    let horizon = 7;
+    let model = Arima::weekly_default();
+
+    let mut any_bucket_with_summary = false;
+    for bucket in members.iter() {
+        let mut errors = Vec::new();
+        for &ix in bucket {
+            let file = &trace.files[ix];
+            let history: Vec<f64> =
+                file.reads[..21].iter().map(|&r| r as f64).collect();
+            let truth: Vec<f64> =
+                file.reads[21..28].iter().map(|&r| r as f64).collect();
+            let pred = model.forecast(&history, horizon);
+            errors.extend(forecast::error::forecast_errors(&truth, &pred));
+        }
+        if let Some(summary) = ErrorSummary::from_errors(&errors) {
+            assert!(summary.p01 <= summary.p99);
+            any_bucket_with_summary = true;
+        }
+    }
+    assert!(any_bucket_with_summary);
+}
+
+#[test]
+fn money_ledgers_are_exact_across_the_stack() {
+    // The same run accounted two ways (per file vs per day) must agree to
+    // the micro-dollar, across splits and policies.
+    let (trace, model) = setup();
+    let cfg = SimConfig::default();
+    for policy in [&mut HotPolicy as &mut dyn Policy, &mut GreedyPolicy] {
+        let result = simulate(&trace, &model, policy, &cfg);
+        let by_file: Money = result.per_file.iter().sum();
+        assert_eq!(by_file, result.total_cost());
+        let by_bucket: Money = bucket_costs(&trace, &result.per_file).iter().sum();
+        assert_eq!(by_bucket, result.total_cost());
+    }
+}
+
+#[test]
+fn multi_csp_pricing_is_plug_compatible() {
+    // §4.2.1: "Γ can be easily adjusted for multiple CSPs" — the entire
+    // pipeline must run unchanged under a different pricing policy.
+    let trace = Trace::generate(&TraceConfig::small(50, 21, 3));
+    for policy in [PricingPolicy::azure_blob_2020(), PricingPolicy::aws_s3_like()] {
+        let model = CostModel::new(policy);
+        let cfg = SimConfig::default();
+        let mut opt = OptimalPolicy::plan(&trace, &model, cfg.initial_tier);
+        let opt_run = simulate(&trace, &model, &mut opt, &cfg);
+        let hot_run = simulate(&trace, &model, &mut HotPolicy, &cfg);
+        assert!(opt_run.total_cost() <= hot_run.total_cost());
+    }
+}
