@@ -26,10 +26,8 @@ fn bench_aggregation(c: &mut Criterion) {
         })
     });
 
-    let omegas: Vec<Omega> = groups
-        .iter()
-        .map(|g| Omega::evaluate(g, &trace, &model, Tier::Hot, 0..7))
-        .collect();
+    let omegas: Vec<Omega> =
+        groups.iter().map(|g| Omega::evaluate(g, &trace, &model, Tier::Hot, 0..7)).collect();
     c.bench_function("aggregation/planner_round", |b| {
         b.iter(|| {
             let mut planner = AggregationPlanner::new(50, groups.len());
@@ -43,5 +41,5 @@ fn bench_aggregation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_aggregation, );
+criterion_group!(benches, bench_aggregation,);
 criterion_main!(benches);

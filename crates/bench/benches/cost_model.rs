@@ -19,9 +19,7 @@ fn bench_day_cost(c: &mut Criterion) {
     });
 
     c.bench_function("cost_model/steady_day_cost", |b| {
-        b.iter(|| {
-            model.steady_day_cost(black_box(0.1), black_box(1_234), black_box(56), Tier::Hot)
-        })
+        b.iter(|| model.steady_day_cost(black_box(0.1), black_box(1_234), black_box(56), Tier::Hot))
     });
 }
 

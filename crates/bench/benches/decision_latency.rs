@@ -10,12 +10,8 @@ use rl::NetSpec;
 use std::hint::black_box;
 
 fn bench_per_file_decision(c: &mut Criterion) {
-    let trace = Trace::generate(&TraceConfig {
-        files: 64,
-        days: 21,
-        seed: 9,
-        ..TraceConfig::default()
-    });
+    let trace =
+        Trace::generate(&TraceConfig { files: 64, days: 21, seed: 9, ..TraceConfig::default() });
     let features = FeatureConfig::default();
 
     let mut group = c.benchmark_group("decision_per_file");

@@ -7,12 +7,8 @@ use minicost::prelude::*;
 use std::hint::black_box;
 
 fn setup(files: usize) -> (Trace, CostModel) {
-    let trace = Trace::generate(&TraceConfig {
-        files,
-        days: 35,
-        seed: 7,
-        ..TraceConfig::default()
-    });
+    let trace =
+        Trace::generate(&TraceConfig { files, days: 35, seed: 7, ..TraceConfig::default() });
     (trace, CostModel::new(PricingPolicy::paper_2020()))
 }
 

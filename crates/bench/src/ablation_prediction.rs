@@ -74,10 +74,8 @@ pub fn run(params: &Params) -> Report {
         "forecast-then-optimize vs RL: total and per-bucket cost ($)",
         &["bucket", "predictive-arima", "predictive-seasonal", "minicost", "optimal"],
     );
-    let per_policy: Vec<[Money; 5]> = runs
-        .iter()
-        .map(|r| bucket_costs(test, &r.per_file))
-        .collect();
+    let per_policy: Vec<[Money; 5]> =
+        runs.iter().map(|r| bucket_costs(test, &r.per_file)).collect();
     for (bucket, label) in CV_BUCKET_LABELS.iter().enumerate() {
         let mut row = vec![(*label).to_owned()];
         for buckets in &per_policy {
@@ -93,7 +91,9 @@ pub fn run(params: &Params) -> Report {
     for (label, run) in labels.iter().zip(&runs) {
         report.note(format!("{label}: {}", run.total_cost()));
     }
-    report.note("expected: predictive planners competitive on 0-0.1, penalized on >0.8 (Fig. 4's argument)");
+    report.note(
+        "expected: predictive planners competitive on 0-0.1, penalized on >0.8 (Fig. 4's argument)",
+    );
     report
 }
 
@@ -105,7 +105,7 @@ mod tests {
     fn ablation_smoke() {
         let report = run(&Params { files: 200, days: 14, seed: 1, updates: 150, width: 8 });
         assert_eq!(report.rows.len(), 6); // 5 buckets + TOTAL
-        // Optimal column is the minimum on the TOTAL row.
+                                          // Optimal column is the minimum on the TOTAL row.
         let total = report.rows.last().unwrap();
         let vals: Vec<f64> = total[1..].iter().map(|v| v.parse().unwrap()).collect();
         let opt = vals[3];

@@ -98,9 +98,7 @@ pub fn run(params: &Params) -> Report {
             label.to_owned(),
             format!("{cost}"),
             ratio(cost, opt),
-            agent
-                .final_optimal_rate()
-                .map_or_else(|| "-".into(), |r| format!("{r:.3}")),
+            agent.final_optimal_rate().map_or_else(|| "-".into(), |r| format!("{r:.3}")),
         ]);
     }
     report.push_row(vec![

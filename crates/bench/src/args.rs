@@ -27,12 +27,9 @@ impl Args {
         let mut values = HashMap::new();
         let mut iter = iter.into_iter();
         while let Some(key) = iter.next() {
-            let name = key
-                .strip_prefix("--")
-                .unwrap_or_else(|| panic!("expected --flag, got {key:?}"));
-            let value = iter
-                .next()
-                .unwrap_or_else(|| panic!("flag --{name} needs a value"));
+            let name =
+                key.strip_prefix("--").unwrap_or_else(|| panic!("expected --flag, got {key:?}"));
+            let value = iter.next().unwrap_or_else(|| panic!("flag --{name} needs a value"));
             values.insert(name.to_owned(), value);
         }
         Args { values }
@@ -60,10 +57,7 @@ impl Args {
     where
         T::Err: std::fmt::Debug,
     {
-        self.values.get(name).map(|v| {
-            v.parse()
-                .unwrap_or_else(|e| panic!("--{name} {v:?}: {e:?}"))
-        })
+        self.values.get(name).map(|v| v.parse().unwrap_or_else(|e| panic!("--{name} {v:?}: {e:?}")))
     }
 }
 

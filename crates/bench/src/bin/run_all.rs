@@ -11,17 +11,23 @@ fn main() {
     let u = |n: u64| (n / shrink as u64).max(500);
 
     use bench_support as b;
-    b::fig2_histogram::run(&b::fig2_histogram::Params {
-        files: s(200_000), days: 63, seed: 2020,
-    }).emit();
-    b::fig3_savings::run(&b::fig3_savings::Params {
-        files: s(100_000), days: 35, seed: 2020,
-    }).emit();
+    b::fig2_histogram::run(&b::fig2_histogram::Params { files: s(200_000), days: 63, seed: 2020 })
+        .emit();
+    b::fig3_savings::run(&b::fig3_savings::Params { files: s(100_000), days: 35, seed: 2020 })
+        .emit();
     b::fig4_prediction::run(&b::fig4_prediction::Params {
-        files: s(20_000), days: 63, horizon: 7, seed: 2020,
-    }).emit();
+        files: s(20_000),
+        days: 63,
+        horizon: 7,
+        seed: 2020,
+    })
+    .emit();
     let fig7 = b::fig7_total_cost::Params {
-        files: s(10_000), days: 35, seed: 2020, updates: u(150_000), width: 64,
+        files: s(10_000),
+        days: 35,
+        seed: 2020,
+        updates: u(150_000),
+        width: 64,
     };
     b::fig7_total_cost::run(&fig7).emit();
     b::fig8_bucket_cost::run(&fig7).emit();
@@ -39,19 +45,45 @@ fn main() {
     fig11.runs = args.usize("runs", 10);
     b::fig11_width::run(&fig11).emit();
     b::fig12_overhead::run(&b::fig12_overhead::Params {
-        files: s(10_000).max(1_000), days: 34, seed: 2020, updates: u(2_000), width: 64,
-    }).emit();
+        files: s(10_000).max(1_000),
+        days: 34,
+        seed: 2020,
+        updates: u(2_000),
+        width: 64,
+    })
+    .emit();
     b::fig13_aggregation::run(&b::fig13_aggregation::Params {
-        files: s(10_000), days: 35, seed: 2020, updates: u(150_000), width: 64,
-        groups: s(600).max(60), psi: s(300).max(30),
-    }).emit();
+        files: s(10_000),
+        days: 35,
+        seed: 2020,
+        updates: u(150_000),
+        width: 64,
+        groups: s(600).max(60),
+        psi: s(300).max(30),
+    })
+    .emit();
     b::ablation_reward::run(&b::ablation_reward::Params {
-        files: s(2_000).max(500), days: 35, seed: 2020, updates: u(30_000), width: 32,
-    }).emit();
+        files: s(2_000).max(500),
+        days: 35,
+        seed: 2020,
+        updates: u(30_000),
+        width: 32,
+    })
+    .emit();
     b::ablation_trainer::run(&b::ablation_trainer::Params {
-        files: s(2_000).max(500), days: 35, seed: 2020, updates: u(30_000), width: 32,
-    }).emit();
+        files: s(2_000).max(500),
+        days: 35,
+        seed: 2020,
+        updates: u(30_000),
+        width: 32,
+    })
+    .emit();
     b::ablation_prediction::run(&b::ablation_prediction::Params {
-        files: s(5_000).max(500), days: 35, seed: 2020, updates: u(100_000), width: 32,
-    }).emit();
+        files: s(5_000).max(500),
+        days: 35,
+        seed: 2020,
+        updates: u(100_000),
+        width: 32,
+    })
+    .emit();
 }

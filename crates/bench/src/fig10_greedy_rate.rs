@@ -58,11 +58,8 @@ pub fn run(params: &Params) -> Report {
     let trace = Trace::generate(&crate::experiment_trace(params.files, params.days, params.seed));
     let model = crate::experiment_model();
 
-    let curves: Vec<Vec<(u64, f64)>> = params
-        .epsilons
-        .iter()
-        .map(|&eps| curve(&trace, &model, params, eps))
-        .collect();
+    let curves: Vec<Vec<(u64, f64)>> =
+        params.epsilons.iter().map(|&eps| curve(&trace, &model, params, eps)).collect();
 
     let header: Vec<String> = std::iter::once("update".to_owned())
         .chain(params.epsilons.iter().map(|e| format!("eps_{e}")))
@@ -80,11 +77,8 @@ pub fn run(params: &Params) -> Report {
         let mut row = vec![update.to_string()];
         for curve in &curves {
             // Latest observation at or before `update`.
-            let rate = curve
-                .iter()
-                .take_while(|(u, _)| *u <= update)
-                .last()
-                .map_or(0.0, |(_, r)| *r);
+            let rate =
+                curve.iter().take_while(|(u, _)| *u <= update).last().map_or(0.0, |(_, r)| *r);
             row.push(format!("{rate:.3}"));
         }
         report.push_row(row);

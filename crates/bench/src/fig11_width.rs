@@ -69,8 +69,7 @@ pub fn run(params: &Params) -> Report {
     for &width in &params.widths {
         let rates: Vec<f64> = (0..params.runs)
             .map(|r| {
-                let cfg =
-                    crate::experiment_training(params.updates, width, params.seed + r as u64);
+                let cfg = crate::experiment_training(params.updates, width, params.seed + r as u64);
                 let agent = MiniCost::train(&trace, &model, &cfg);
                 agent.final_optimal_rate().unwrap_or(0.0)
             })
@@ -106,14 +105,8 @@ mod tests {
 
     #[test]
     fn sweep_rows_per_width() {
-        let params = Params {
-            files: 100,
-            days: 14,
-            seed: 1,
-            updates: 200,
-            widths: vec![4, 8],
-            runs: 2,
-        };
+        let params =
+            Params { files: 100, days: 14, seed: 1, updates: 200, widths: vec![4, 8], runs: 2 };
         let report = run(&params);
         assert_eq!(report.rows.len(), 2);
         for row in &report.rows {

@@ -92,25 +92,14 @@ mod tests {
         let report = run(&Params { files: 2_000, days: 10, seed: 2, updates: 100, width: 16 });
         assert_eq!(report.rows.len(), 4);
         let mean_of = |name: &str| -> f64 {
-            report
-                .rows
-                .iter()
-                .find(|r| r[0] == name)
-                .unwrap()[1]
-                .parse()
-                .unwrap()
+            report.rows.iter().find(|r| r[0] == name).unwrap()[1].parse().unwrap()
         };
         // The static baselines must be far cheaper than the deciders.
         assert!(mean_of("hot") * 3.0 < mean_of("minicost").max(0.01));
         assert!(mean_of("cold") * 3.0 < mean_of("greedy").max(0.01) + 0.01);
         // The paper's sub-millisecond per-file claim.
-        let us_per_file: f64 = report
-            .rows
-            .iter()
-            .find(|r| r[0] == "minicost")
-            .unwrap()[3]
-            .parse()
-            .unwrap();
+        let us_per_file: f64 =
+            report.rows.iter().find(|r| r[0] == "minicost").unwrap()[3].parse().unwrap();
         assert!(us_per_file < 1_000.0, "{us_per_file} us/file");
     }
 }

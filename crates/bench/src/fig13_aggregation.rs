@@ -111,12 +111,8 @@ pub fn run(params: &Params) -> Report {
         &crate::experiment_training(params.updates, params.width, params.seed),
     );
     let test = &split.test;
-    let groups = CoRequestModel {
-        groups: params.groups,
-        seed: params.seed,
-        ..Default::default()
-    }
-    .generate(test);
+    let groups = CoRequestModel { groups: params.groups, seed: params.seed, ..Default::default() }
+        .generate(test);
 
     let greedy = weekly_costs(test, &model, &mut GreedyPolicy, weeks);
     let minicost = weekly_costs(test, &model, &mut agent.policy(), weeks);

@@ -82,9 +82,8 @@ mod tests {
     fn params_parse_defaults() {
         let p = Params::from_args(&Args::from_list(Vec::<String>::new()));
         assert_eq!(p.files, 200_000);
-        let p = Params::from_args(&Args::from_list(
-            ["--files", "10"].iter().map(|s| (*s).to_owned()),
-        ));
+        let p =
+            Params::from_args(&Args::from_list(["--files", "10"].iter().map(|s| (*s).to_owned())));
         assert_eq!(p.files, 10);
     }
 }

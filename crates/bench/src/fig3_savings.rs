@@ -44,7 +44,14 @@ pub fn run(params: &Params) -> Report {
     let mut report = Report::new(
         "fig3",
         "potential saved money per day by variability bucket (best-of-hot/cold minus optimal)",
-        &["bucket", "files", "static_cost_day", "optimal_cost_day", "saved_per_day", "saved_per_file_day"],
+        &[
+            "bucket",
+            "files",
+            "static_cost_day",
+            "optimal_cost_day",
+            "saved_per_day",
+            "saved_per_file_day",
+        ],
     );
 
     for (bucket, files) in members.iter().enumerate() {
@@ -58,9 +65,17 @@ pub fn run(params: &Params) -> Report {
             // static plans are inside Optimal's feasible set and savings
             // are non-negative by construction.
             let hot = minicost::optimal::plan_cost(
-                file, &model, Tier::Hot, &vec![Tier::Hot; file.days()]);
+                file,
+                &model,
+                Tier::Hot,
+                &vec![Tier::Hot; file.days()],
+            );
             let cold = minicost::optimal::plan_cost(
-                file, &model, Tier::Hot, &vec![Tier::Cool; file.days()]);
+                file,
+                &model,
+                Tier::Hot,
+                &vec![Tier::Cool; file.days()],
+            );
             static_total += hot.min(cold);
             let (_, opt) = optimal_plan(file, &model, Tier::Hot);
             optimal_total += opt;
@@ -81,7 +96,8 @@ pub fn run(params: &Params) -> Report {
             format!("{per_file_day:.8}"),
         ]);
     }
-    report.note("paper Fig. 3: the >0.8 bucket saves the most total money despite 100x fewer files");
+    report
+        .note("paper Fig. 3: the >0.8 bucket saves the most total money despite 100x fewer files");
     report.note("expected shape: saved_per_file_day increases monotonically with the bucket");
     report
 }
@@ -94,8 +110,7 @@ mod tests {
     fn savings_are_nonnegative_and_grow_per_file() {
         let report = run(&Params { files: 4_000, days: 63, seed: 11 });
         assert_eq!(report.rows.len(), 5);
-        let per_file: Vec<f64> =
-            report.rows.iter().map(|r| r[5].parse().unwrap()).collect();
+        let per_file: Vec<f64> = report.rows.iter().map(|r| r[5].parse().unwrap()).collect();
         assert!(per_file.iter().all(|&v| v >= 0.0), "{per_file:?}");
         // The paper's key claim: high-variability files save more per file
         // than stationary ones.

@@ -8,7 +8,7 @@
 //! Extension: seasonal-naive and EWMA baselines alongside ARIMA.
 
 use crate::{Args, Report};
-use forecast::{Arima, Ewma, ErrorSummary, Forecaster, SeasonalNaive};
+use forecast::{Arima, ErrorSummary, Ewma, Forecaster, SeasonalNaive};
 use minicost::prelude::*;
 use tracegen::analysis::{bucket_members, CV_BUCKET_LABELS};
 
@@ -63,10 +63,8 @@ pub fn run(params: &Params) -> Report {
             let mut errors = Vec::new();
             for &ix in files {
                 let file = &trace.files[ix];
-                let history: Vec<f64> =
-                    file.reads[..split].iter().map(|&r| r as f64).collect();
-                let truth: Vec<f64> =
-                    file.reads[split..].iter().map(|&r| r as f64).collect();
+                let history: Vec<f64> = file.reads[..split].iter().map(|&r| r as f64).collect();
+                let truth: Vec<f64> = file.reads[split..].iter().map(|&r| r as f64).collect();
                 let predicted = forecaster.forecast(&history, params.horizon);
                 errors.extend(forecast::error::forecast_errors(&truth, &predicted));
             }

@@ -90,9 +90,19 @@ pub fn run(params: &Params) -> Report {
     let optimal_total = runs[4].total_cost();
     let normalized: Vec<String> = runs
         .iter()
-        .map(|r| format!("{}={:.3}x", r.policy_name, r.total_cost().as_dollars() / optimal_total.as_dollars()))
+        .map(|r| {
+            format!(
+                "{}={:.3}x",
+                r.policy_name,
+                r.total_cost().as_dollars() / optimal_total.as_dollars()
+            )
+        })
         .collect();
-    report.note(format!("test files: {} | normalized vs optimal: {}", test.len(), normalized.join(" ")));
+    report.note(format!(
+        "test files: {} | normalized vs optimal: {}",
+        test.len(),
+        normalized.join(" ")
+    ));
     report.note("paper Fig. 7 ordering: Cold > Hot > Greedy > MiniCost > Optimal");
     report
 }

@@ -23,10 +23,8 @@ pub fn run(params: &Params) -> Report {
 
     let members = tracegen::analysis::bucket_members(&test);
     let days = test.days as i64;
-    let per_policy_buckets: Vec<[Money; 5]> = runs
-        .iter()
-        .map(|r| bucket_costs(&test, &r.per_file))
-        .collect();
+    let per_policy_buckets: Vec<[Money; 5]> =
+        runs.iter().map(|r| bucket_costs(&test, &r.per_file)).collect();
 
     for (bucket, label) in CV_BUCKET_LABELS.iter().enumerate() {
         let mut row = vec![(*label).to_owned(), members[bucket].len().to_string()];

@@ -51,21 +51,11 @@ impl Params {
 /// Trains at one learning rate and returns the convergence step
 /// (`None` = did not converge within the budget).
 #[must_use]
-pub fn convergence_at(
-    trace: &Trace,
-    model: &CostModel,
-    params: &Params,
-    lr: f64,
-) -> Option<u64> {
+pub fn convergence_at(trace: &Trace, model: &CostModel, params: &Params, lr: f64) -> Option<u64> {
     let mut cfg = crate::experiment_training(params.updates, params.width, params.seed);
     cfg.a3c.learning_rate = lr;
     let agent = MiniCost::train(trace, model, &cfg);
-    let rates: Vec<f64> = agent
-        .result
-        .progress
-        .iter()
-        .filter_map(|p| p.optimal_rate)
-        .collect();
+    let rates: Vec<f64> = agent.result.progress.iter().filter_map(|p| p.optimal_rate).collect();
     let updates: Vec<u64> = agent
         .result
         .progress

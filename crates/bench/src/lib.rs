@@ -9,6 +9,9 @@
 //! Binaries (`fig2` … `fig13`, `run_all`) are thin wrappers over these
 //! modules.
 
+// Tests assert bit-exact float reproducibility on purpose.
+#![cfg_attr(test, allow(clippy::float_cmp))]
+
 pub mod ablation_prediction;
 pub mod ablation_reward;
 pub mod ablation_trainer;

@@ -45,11 +45,7 @@ impl Omega {
     ) -> Omega {
         let n = group.members.len();
         assert!(n >= 2, "aggregation needs at least 2 files");
-        let total_size: f64 = group
-            .members
-            .iter()
-            .map(|id| trace.file(*id).size_gb)
-            .sum();
+        let total_size: f64 = group.members.iter().map(|id| trace.file(*id).size_gb).sum();
         let mean_concurrent = group.mean_concurrent(window);
         Omega::from_parts(n, mean_concurrent, total_size, model, tier)
     }
@@ -75,12 +71,7 @@ impl Omega {
     /// Eq. 15's minimum concurrent request rate for aggregation to pay off
     /// (the `r_dc` threshold).
     #[must_use]
-    pub fn threshold_rdc(
-        n: usize,
-        total_size_gb: f64,
-        model: &CostModel,
-        tier: Tier,
-    ) -> f64 {
+    pub fn threshold_rdc(n: usize, total_size_gb: f64, model: &CostModel, tier: Tier) -> f64 {
         assert!(n >= 2, "aggregation needs at least 2 files");
         let prices = model.policy().tier(tier);
         let up_daily = prices.storage_gb_month / pricing::policy::DAYS_PER_MONTH;
@@ -123,11 +114,7 @@ impl AggregationPlanner {
     /// Currently active group indices.
     #[must_use]
     pub fn active_groups(&self) -> Vec<usize> {
-        self.active
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &a)| a.then_some(i))
-            .collect()
+        self.active.iter().enumerate().filter_map(|(i, &a)| a.then_some(i)).collect()
     }
 
     /// One Algorithm 2 evaluation round: given this period's Ω per group,
@@ -149,15 +136,9 @@ impl AggregationPlanner {
         }
 
         // Rank beneficial groups by Ω descending, take the top Ψ.
-        let mut ranked: Vec<usize> = (0..omegas.len())
-            .filter(|&i| omegas[i].is_beneficial())
-            .collect();
-        ranked.sort_by(|&a, &b| {
-            omegas[b]
-                .0
-                .partial_cmp(&omegas[a].0)
-                .expect("NaN omega")
-        });
+        let mut ranked: Vec<usize> =
+            (0..omegas.len()).filter(|&i| omegas[i].is_beneficial()).collect();
+        ranked.sort_by(|&a, &b| omegas[b].0.total_cmp(&omegas[a].0));
         ranked.truncate(self.psi);
 
         // Newly selected groups become active; active groups not in the
@@ -180,11 +161,7 @@ impl AggregationPlanner {
 /// Inactive groups leave the trace untouched. The returned trace is what
 /// the tier-assignment policies then run on (MiniCost w/ E in Fig. 13).
 #[must_use]
-pub fn apply_aggregation(
-    trace: &Trace,
-    groups: &[CoRequestGroup],
-    active: &[usize],
-) -> Trace {
+pub fn apply_aggregation(trace: &Trace, groups: &[CoRequestGroup], active: &[usize]) -> Trace {
     let mut files = trace.files.clone();
     for &gix in active {
         let group = &groups[gix];
@@ -266,10 +243,7 @@ mod tests {
         let plain = simulate(&trace, &m, &mut HotPolicy, &cfg).total_cost();
         let merged = apply_aggregation(&trace, &[group], &[0]);
         let aggregated = simulate(&merged, &m, &mut HotPolicy, &cfg).total_cost();
-        assert!(
-            aggregated < plain,
-            "aggregated {aggregated} must beat plain {plain}"
-        );
+        assert!(aggregated < plain, "aggregated {aggregated} must beat plain {plain}");
     }
 
     #[test]
@@ -282,10 +256,7 @@ mod tests {
             writes: vec![0; 7],
         };
         let trace = Trace { days: 7, files: vec![mk(0), mk(1)] };
-        let group = CoRequestGroup {
-            members: vec![FileId(0), FileId(1)],
-            concurrent: vec![1; 7],
-        };
+        let group = CoRequestGroup { members: vec![FileId(0), FileId(1)], concurrent: vec![1; 7] };
         let m = model();
         let omega = Omega::evaluate(&group, &trace, &m, Tier::Hot, 0..7);
         assert!(!omega.is_beneficial(), "omega {omega:?}");
@@ -325,10 +296,7 @@ mod tests {
     #[test]
     fn planner_selects_top_psi() {
         let m = model();
-        let omegas: Vec<Omega> = [5.0, -1.0, 9.0, 2.0, 0.5]
-            .iter()
-            .map(|&v| Omega(v))
-            .collect();
+        let omegas: Vec<Omega> = [5.0, -1.0, 9.0, 2.0, 0.5].iter().map(|&v| Omega(v)).collect();
         let _ = &m;
         let mut planner = AggregationPlanner::new(2, 5);
         let active = planner.evaluate(&omegas);
@@ -370,11 +338,7 @@ mod tests {
     #[test]
     fn omega_evaluate_over_real_trace() {
         let trace = Trace::generate(&TraceConfig::small(50, 14, 21));
-        let groups = tracegen::CoRequestModel {
-            groups: 5,
-            ..Default::default()
-        }
-        .generate(&trace);
+        let groups = tracegen::CoRequestModel { groups: 5, ..Default::default() }.generate(&trace);
         let m = model();
         for g in &groups {
             let omega = Omega::evaluate(g, &trace, &m, Tier::Hot, 0..7);

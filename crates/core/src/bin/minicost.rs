@@ -60,9 +60,7 @@ fn parse_flags(args: impl Iterator<Item = String>) -> Result<Flags, String> {
     let mut flags = HashMap::new();
     let mut args = args.peekable();
     while let Some(key) = args.next() {
-        let name = key
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got {key:?}"))?;
+        let name = key.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {key:?}"))?;
         let value = args.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_owned(), value);
     }
@@ -80,10 +78,7 @@ where
 }
 
 fn required<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
-    flags
-        .get(name)
-        .map(String::as_str)
-        .ok_or_else(|| format!("--{name} is required"))
+    flags.get(name).map(String::as_str).ok_or_else(|| format!("--{name} is required"))
 }
 
 fn pricing(flags: &Flags) -> Result<CostModel, String> {
@@ -129,7 +124,10 @@ fn analyze(flags: &Flags) -> Result<(), String> {
     let summary = tracegen::analysis::summarize(&trace);
     println!(
         "{} files x {} days | mean daily reads {:.1} (peak {:.0}) | mean size {:.3} GB",
-        summary.files, summary.days, summary.mean_daily_reads, summary.peak_daily_reads,
+        summary.files,
+        summary.days,
+        summary.mean_daily_reads,
+        summary.peak_daily_reads,
         summary.mean_size_gb
     );
     let hist = tracegen::analysis::bucket_histogram(&trace);
@@ -161,9 +159,7 @@ fn train(flags: &Flags) -> Result<(), String> {
     agent.save(Path::new(out)).map_err(|e| format!("{out}: {e}"))?;
     println!(
         "saved agent to {out} (final optimal-action rate: {})",
-        agent
-            .final_optimal_rate()
-            .map_or_else(|| "n/a".into(), |r| format!("{:.1}%", r * 100.0))
+        agent.final_optimal_rate().map_or_else(|| "n/a".into(), |r| format!("{:.1}%", r * 100.0))
     );
     Ok(())
 }
@@ -187,19 +183,14 @@ fn evaluate(flags: &Flags) -> Result<(), String> {
         simulate(test, &model, &mut optimal, &sim_cfg),
     ];
     let reference = runs.last().expect("non-empty").total_cost();
-    println!(
-        "{} held-out files x {} days under {}:",
-        test.len(),
-        test.days,
-        model.policy().name
-    );
+    println!("{} held-out files x {} days under {}:", test.len(), test.days, model.policy().name);
     println!("{:<10} {:>14} {:>11} {:>9}", "policy", "total cost", "vs optimal", "changes");
     for run in &runs {
         println!(
             "{:<10} {:>14} {:>10.3}x {:>9}",
             run.policy_name,
             run.total_cost().to_string(),
-            run.total_cost().as_dollars() / reference.as_dollars(),
+            run.total_cost().ratio_to(reference),
             run.tier_changes
         );
     }

@@ -80,21 +80,13 @@ impl FeatureConfig {
         // oldest first, yesterday last.
         for k in 0..self.window {
             let offset = self.window - k;
-            let value = if day >= offset {
-                file.reads[day - offset] as f64
-            } else {
-                mean
-            };
+            let value = if day >= offset { file.reads[day - offset] as f64 } else { mean };
             out.push((1.0 + value).ln() / 10.0);
         }
         // Channel 1: shape, normalized by the file's own observed mean.
         for k in 0..self.window {
             let offset = self.window - k;
-            let value = if day >= offset {
-                file.reads[day - offset] as f64
-            } else {
-                mean
-            };
+            let value = if day >= offset { file.reads[day - offset] as f64 } else { mean };
             out.push((value / denom).min(HISTORY_CAP));
         }
 

@@ -48,6 +48,12 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must surface failures as values (L2 no-panic-in-libs); tests
+// may unwrap freely.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+// Tests assert bit-exact float reproducibility on purpose.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 
 pub mod aggregate;
 pub mod features;
@@ -66,11 +72,11 @@ pub mod prelude {
     pub use crate::features::FeatureConfig;
     pub use crate::mdp::{RewardConfig, RewardKind, TieringEnv, TieringEnvConfig};
     pub use crate::metrics::{bucket_costs, normalized_costs, OverheadTimer};
+    pub use crate::multi::{optimal_location_plan, Location, MultiCspModel};
     pub use crate::optimal::{brute_force_plan, optimal_plan, suffix_values};
     pub use crate::policy::{
         ColdPolicy, GreedyPolicy, HotPolicy, OptimalPolicy, Policy, RlPolicy, SingleTierPolicy,
     };
-    pub use crate::multi::{optimal_location_plan, Location, MultiCspModel};
     pub use crate::predictive::PredictivePolicy;
     pub use crate::sim::{simulate, SimConfig, SimResult};
     pub use crate::train::{MiniCost, MiniCostConfig};

@@ -62,13 +62,7 @@ pub struct RewardConfig {
 
 impl Default for RewardConfig {
     fn default() -> Self {
-        RewardConfig {
-            kind: RewardKind::NegCost,
-            alpha: 1.0,
-            delta: 0.0,
-            floor: 0.05,
-            cap: 20.0,
-        }
+        RewardConfig { kind: RewardKind::NegCost, alpha: 1.0, delta: 0.0, floor: 0.05, cap: 20.0 }
     }
 }
 
@@ -89,16 +83,15 @@ impl RewardConfig {
     #[must_use]
     pub fn regret_reward(&self, regret: Money, reference: Money) -> f64 {
         debug_assert!(regret >= Money::ZERO, "regret must be non-negative");
-        let reference_d = reference.as_dollars().max(1e-9);
-        (-self.alpha * regret.as_dollars() / reference_d).max(-self.cap) + self.delta
+        let normalized = regret.ratio_with_floor(reference, 1e-9);
+        (-self.alpha * normalized).max(-self.cap) + self.delta
     }
 
     /// Reward for paying `cost` where `reference` is the file's always-hot
     /// cost for the same day (the normalizer). Higher reward for lower cost.
     #[must_use]
     pub fn reward(&self, cost: Money, reference: Money) -> f64 {
-        let reference_d = reference.as_dollars().max(1e-12);
-        let normalized = (cost.as_dollars() / reference_d).max(0.0);
+        let normalized = cost.ratio_with_floor(reference, 1e-12).max(0.0);
         let term = match self.kind {
             RewardKind::Reciprocal => (self.alpha / (normalized + self.floor)).min(self.cap),
             RewardKind::NegCost => (-self.alpha * normalized).max(-self.cap),
@@ -173,11 +166,7 @@ impl TieringEnv {
             cfg.episode_len
         );
         let oracle = if cfg.with_oracle {
-            trace
-                .files
-                .iter()
-                .map(|f| Some(suffix_values(f, &model)))
-                .collect()
+            trace.files.iter().map(|f| Some(suffix_values(f, &model))).collect()
         } else {
             vec![None; trace.files.len()]
         };
@@ -203,20 +192,15 @@ impl TieringEnv {
         // identical across files (see RlPolicy::decide_file), so training
         // on it would only teach a blind majority action.
         let latest_start = self.trace.days - self.cfg.episode_len;
-        self.day = if latest_start <= 1 {
-            latest_start
-        } else {
-            self.rng.random_range(1..=latest_start)
-        };
-        self.tier = Tier::from_index(self.rng.random_range(0..TIER_COUNT)).unwrap();
+        self.day =
+            if latest_start <= 1 { latest_start } else { self.rng.random_range(1..=latest_start) };
+        self.tier = Tier::ALL[self.rng.random_range(0..TIER_COUNT)];
         self.steps_left = self.cfg.episode_len;
         self.state()
     }
 
     fn state(&self) -> Vec<f64> {
-        self.cfg
-            .features
-            .encode(&self.trace.files[self.file_ix], self.day, self.tier)
+        self.cfg.features.encode(&self.trace.files[self.file_ix], self.day, self.tier)
     }
 
     /// The environment's RNG-independent cost of taking `action` now:
@@ -233,9 +217,13 @@ impl TieringEnv {
     /// `Q*(s, a) = change + steady + V[d+1][a]` from the suffix DP.
     /// Requires the oracle tables (`with_oracle`).
     fn action_regret(&self, action: Tier) -> Money {
-        let values = self.oracle[self.file_ix]
-            .as_ref()
-            .expect("ShapedRegret reward requires with_oracle = true");
+        let Some(values) = self.oracle[self.file_ix].as_ref() else {
+            // ShapedRegret requires `with_oracle = true`; without the tables
+            // the regret signal is undefined, so report zero regret (the
+            // reward degenerates to its constant offset).
+            debug_assert!(false, "ShapedRegret reward requires with_oracle = true");
+            return Money::ZERO;
+        };
         let file = &self.trace.files[self.file_ix];
         let (r, w) = file.day(self.day);
         let q = |a: Tier| -> Money {
@@ -246,7 +234,7 @@ impl TieringEnv {
                 .saturating_add(values[self.day + 1][a.index()])
         };
         let q_a = q(action);
-        let q_best = Tier::all().map(q).min().expect("non-empty tier set");
+        let q_best = Tier::all().map(q).reduce(Money::min).unwrap_or(q_a);
         q_a - q_best
     }
 
@@ -274,7 +262,7 @@ impl Env for TieringEnv {
     fn step(&mut self, action: usize) -> Step {
         assert!(action < TIER_COUNT, "action out of range");
         assert!(self.steps_left > 0, "step after episode end; call reset");
-        let tier = Tier::from_index(action).unwrap();
+        let tier = Tier::ALL[action];
         let reward = if self.cfg.reward.kind == RewardKind::ShapedRegret {
             let regret = self.action_regret(tier);
             self.cfg.reward.regret_reward(regret, self.reference_cost())
@@ -349,11 +337,8 @@ mod tests {
 
     #[test]
     fn negcost_raw_ignores_reference() {
-        let r = RewardConfig {
-            kind: RewardKind::NegCostRaw,
-            alpha: 100.0,
-            ..RewardConfig::default()
-        };
+        let r =
+            RewardConfig { kind: RewardKind::NegCostRaw, alpha: 100.0, ..RewardConfig::default() };
         let a = r.reward(Money::from_dollars(0.02), Money::from_dollars(1.0));
         let b = r.reward(Money::from_dollars(0.02), Money::from_dollars(0.001));
         assert_eq!(a, b);
@@ -467,10 +452,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            oracle_total > anti_total,
-            "oracle {oracle_total} vs anti {anti_total}"
-        );
+        assert!(oracle_total > anti_total, "oracle {oracle_total} vs anti {anti_total}");
     }
 
     #[test]

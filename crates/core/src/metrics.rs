@@ -39,7 +39,7 @@ pub fn normalized_costs(results: &[&SimResult], reference: Money) -> Vec<f64> {
                     f64::INFINITY
                 }
             } else {
-                cost.as_dollars() / reference.as_dollars()
+                cost.ratio_to(reference)
             }
         })
         .collect()

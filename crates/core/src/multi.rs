@@ -51,8 +51,7 @@ impl MultiCspModel {
 
     /// Enumerates all locations in dense order.
     pub fn locations(&self) -> impl Iterator<Item = Location> + '_ {
-        (0..self.models.len())
-            .flat_map(|dc| Tier::all().map(move |tier| Location { dc, tier }))
+        (0..self.models.len()).flat_map(|dc| Tier::all().map(move |tier| Location { dc, tier }))
     }
 
     /// Steady one-day cost of a file at `location`.
@@ -77,14 +76,10 @@ impl MultiCspModel {
             return Money::ZERO;
         }
         if from.dc == to.dc {
-            self.models[from.dc]
-                .policy()
-                .change_cost(from.tier, to.tier, size_gb)
+            self.models[from.dc].policy().change_cost(from.tier, to.tier, size_gb)
         } else {
             Money::from_dollars(self.migration_per_gb * size_gb)
-                + self.models[to.dc]
-                    .policy()
-                    .change_cost(Tier::Hot, to.tier, size_gb)
+                + self.models[to.dc].policy().change_cost(Tier::Hot, to.tier, size_gb)
         }
     }
 }
@@ -123,18 +118,19 @@ pub fn optimal_location_plan(
                     (i, best[d - 1][i].saturating_add(model.move_cost(p, loc, file.size_gb)))
                 })
                 .min_by_key(|&(_, c)| c)
-                .expect("non-empty location set");
+                .unwrap_or((0, Money::MAX));
             best[d][j] = cost.saturating_add(steady);
             parent[d][j] = prev;
         }
     }
 
-    let (mut last, &total) = best[days - 1]
-        .iter()
-        .enumerate()
-        .min_by_key(|&(_, c)| c)
-        .map(|(i, c)| (i, c))
-        .expect("non-empty location set");
+    let (mut last, mut total) = (0, Money::MAX);
+    for (i, &c) in best[days - 1].iter().enumerate() {
+        if c < total {
+            last = i;
+            total = c;
+        }
+    }
     let mut plan = vec![initial; days];
     for d in (0..days).rev() {
         plan[d] = locations[last];
@@ -188,10 +184,7 @@ mod tests {
         let (loc_plan, loc_cost) =
             optimal_location_plan(&f, &m, Location { dc: 0, tier: Tier::Hot });
         assert_eq!(loc_cost, tier_cost);
-        assert_eq!(
-            loc_plan.iter().map(|l| l.tier).collect::<Vec<_>>(),
-            tier_plan
-        );
+        assert_eq!(loc_plan.iter().map(|l| l.tier).collect::<Vec<_>>(), tier_plan);
         assert!(loc_plan.iter().all(|l| l.dc == 0));
     }
 

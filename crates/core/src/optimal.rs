@@ -35,9 +35,7 @@ pub fn optimal_plan(
 
     let (r0, w0) = file.day(0);
     for tier in Tier::all() {
-        best[0][tier.index()] = model
-            .policy()
-            .change_cost(initial_tier, tier, file.size_gb)
+        best[0][tier.index()] = model.policy().change_cost(initial_tier, tier, file.size_gb)
             + model.steady_day_cost(file.size_gb, r0, w0, tier);
     }
 
@@ -48,8 +46,11 @@ pub fn optimal_plan(
             let mut best_cost = Money::MAX;
             let mut best_prev = 0;
             for prev in Tier::all() {
-                let cost = best[d - 1][prev.index()]
-                    .saturating_add(model.policy().change_cost(prev, tier, file.size_gb));
+                let cost = best[d - 1][prev.index()].saturating_add(model.policy().change_cost(
+                    prev,
+                    tier,
+                    file.size_gb,
+                ));
                 if cost < best_cost {
                     best_cost = cost;
                     best_prev = prev.index();
@@ -61,15 +62,18 @@ pub fn optimal_plan(
     }
 
     // Backtrack from the cheapest final tier.
-    let mut last = Tier::all()
-        .min_by_key(|t| best[days - 1][t.index()])
-        .expect("non-empty tier set");
+    let mut last = Tier::Hot;
+    for t in Tier::all() {
+        if best[days - 1][t.index()] < best[days - 1][last.index()] {
+            last = t;
+        }
+    }
     let total = best[days - 1][last.index()];
     let mut plan = vec![Tier::Hot; days];
     for d in (0..days).rev() {
         plan[d] = last;
         if d > 0 {
-            last = Tier::from_index(parent[d][last.index()]).expect("valid parent tier");
+            last = Tier::ALL[parent[d][last.index()]];
         }
     }
     (plan, total)
@@ -79,12 +83,7 @@ pub fn optimal_plan(
 /// `initial_tier` (changes are charged at each day boundary, including
 /// day 0). Panics if the plan length differs from the series length.
 #[must_use]
-pub fn plan_cost(
-    file: &FileSeries,
-    model: &CostModel,
-    initial_tier: Tier,
-    plan: &[Tier],
-) -> Money {
+pub fn plan_cost(file: &FileSeries, model: &CostModel, initial_tier: Tier, plan: &[Tier]) -> Money {
     assert_eq!(plan.len(), file.days(), "plan length must match series length");
     let mut total = Money::ZERO;
     let mut current = initial_tier;
@@ -118,7 +117,7 @@ pub fn brute_force_plan(
         let mut c = code;
         let plan: Vec<Tier> = (0..days)
             .map(|_| {
-                let t = Tier::from_index((c % TIER_COUNT as u64) as usize).unwrap();
+                let t = Tier::ALL[(c % TIER_COUNT as u64) as usize];
                 c /= TIER_COUNT as u64;
                 t
             })
@@ -177,15 +176,14 @@ pub fn oracle_action(
 ) -> Tier {
     assert!(day < file.days(), "day out of range");
     let (r, w) = file.day(day);
-    Tier::all()
-        .min_by_key(|&a| {
-            model
-                .policy()
-                .change_cost(current, a, file.size_gb)
-                .saturating_add(model.steady_day_cost(file.size_gb, r, w, a))
-                .saturating_add(values[day + 1][a.index()])
-        })
-        .expect("non-empty tier set")
+    let q = |a: Tier| {
+        model
+            .policy()
+            .change_cost(current, a, file.size_gb)
+            .saturating_add(model.steady_day_cost(file.size_gb, r, w, a))
+            .saturating_add(values[day + 1][a.index()])
+    };
+    Tier::all().reduce(|best, a| if q(a) < q(best) { a } else { best }).unwrap_or(Tier::Hot)
 }
 
 #[cfg(test)]

@@ -107,12 +107,11 @@ impl Policy for GreedyPolicy {
             .zip(ctx.current)
             .map(|(file, &cur)| {
                 let (r, w) = file.day(ctx.day);
-                Tier::all()
-                    .min_by_key(|&t| {
-                        ctx.model.policy().change_cost(cur, t, file.size_gb)
-                            + ctx.model.steady_day_cost(file.size_gb, r, w, t)
-                    })
-                    .expect("non-empty tier set")
+                let q = |t: Tier| {
+                    ctx.model.policy().change_cost(cur, t, file.size_gb)
+                        + ctx.model.steady_day_cost(file.size_gb, r, w, t)
+                };
+                Tier::all().reduce(|best, t| if q(t) < q(best) { t } else { best }).unwrap_or(cur)
             })
             .collect()
     }
@@ -184,12 +183,7 @@ impl RlPolicy {
 
     /// Greedy action for one file on one day.
     #[must_use]
-    pub fn decide_file(
-        &mut self,
-        file: &tracegen::FileSeries,
-        day: usize,
-        current: Tier,
-    ) -> Tier {
+    pub fn decide_file(&mut self, file: &tracegen::FileSeries, day: usize, current: Tier) -> Tier {
         if day == 0 {
             // Nothing has been observed yet: every file encodes to the same
             // all-padding state, so acting would apply one blind action to
@@ -199,7 +193,9 @@ impl RlPolicy {
         }
         let state = self.features.encode(file, day, current);
         let logits = self.actor.forward(&nn::Matrix::row_vector(&state));
-        Tier::from_index(argmax(logits.row(0))).expect("actor outputs one logit per tier")
+        // The actor emits one logit per tier, so argmax is always a valid
+        // index; hold the current tier if the network is ever mis-sized.
+        Tier::from_index(argmax(logits.row(0))).unwrap_or(current)
     }
 }
 
@@ -229,10 +225,7 @@ impl RlPolicy {
         let batch = nn::Matrix::from_vec(files.len(), dim, states);
         let logits = self.actor.forward(&batch);
         (0..files.len())
-            .map(|row| {
-                Tier::from_index(argmax(logits.row(row)))
-                    .expect("actor outputs one logit per tier")
-            })
+            .map(|row| Tier::from_index(argmax(logits.row(row))).unwrap_or(current[row]))
             .collect()
     }
 }
@@ -411,9 +404,8 @@ mod tests {
         let actor = spec.build_actor(9);
         let mut policy = RlPolicy::from_params(spec, &actor.param_vector(), features);
         let (trace, _) = setup();
-        let current: Vec<Tier> = (0..trace.len())
-            .map(|i| Tier::from_index(i % 3).unwrap())
-            .collect();
+        let current: Vec<Tier> =
+            (0..trace.len()).map(|i| Tier::from_index(i % 3).unwrap()).collect();
         for day in [0usize, 1, 7] {
             let batched = policy.decide_batch(&trace.files, day, &current);
             let singly: Vec<Tier> = if day == 0 {

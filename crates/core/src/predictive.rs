@@ -52,11 +52,8 @@ impl<F: forecast::Forecaster> PredictivePolicy<F> {
         // Writes follow the file's observed write/read ratio.
         let observed_reads: u64 = file.reads[..day].iter().sum();
         let observed_writes: u64 = file.writes[..day].iter().sum();
-        let write_ratio = if observed_reads == 0 {
-            0.0
-        } else {
-            observed_writes as f64 / observed_reads as f64
-        };
+        let write_ratio =
+            if observed_reads == 0 { 0.0 } else { observed_writes as f64 / observed_reads as f64 };
 
         // DP over (day-in-window, tier) on predicted frequencies — same
         // recurrence as `optimal::optimal_plan`, inlined here because the
@@ -73,9 +70,7 @@ impl<F: forecast::Forecaster> PredictivePolicy<F> {
         let mut best = vec![[Money::MAX; TIER_COUNT]; days];
         let mut parent = vec![[0usize; TIER_COUNT]; days];
         for tier in Tier::all() {
-            best[0][tier.index()] = model
-                .policy()
-                .change_cost(current, tier, file.size_gb)
+            best[0][tier.index()] = model.policy().change_cost(current, tier, file.size_gb)
                 + cost_of(predicted_reads[0], tier);
         }
         for d in 1..days {
@@ -85,25 +80,33 @@ impl<F: forecast::Forecaster> PredictivePolicy<F> {
                     .map(|p| {
                         (
                             p,
-                            best[d - 1][p.index()].saturating_add(
-                                model.policy().change_cost(p, tier, file.size_gb),
-                            ),
+                            best[d - 1][p.index()].saturating_add(model.policy().change_cost(
+                                p,
+                                tier,
+                                file.size_gb,
+                            )),
                         )
                     })
-                    .min_by_key(|&(_, c)| c)
-                    .expect("non-empty tier set");
+                    .fold(None, |best: Option<(Tier, Money)>, cand| match best {
+                        Some(b) if b.1 <= cand.1 => Some(b),
+                        _ => Some(cand),
+                    })
+                    .unwrap_or((Tier::Hot, Money::MAX));
                 best[d][tier.index()] = cost.saturating_add(steady);
                 parent[d][tier.index()] = prev.index();
             }
         }
-        let mut last = Tier::all()
-            .min_by_key(|t| best[days - 1][t.index()])
-            .expect("non-empty tier set");
+        let mut last = Tier::Hot;
+        for t in Tier::all() {
+            if best[days - 1][t.index()] < best[days - 1][last.index()] {
+                last = t;
+            }
+        }
         let mut plan = vec![Tier::Hot; days];
         for d in (0..days).rev() {
             plan[d] = last;
             if d > 0 {
-                last = Tier::from_index(parent[d][last.index()]).expect("valid parent");
+                last = Tier::ALL[parent[d][last.index()]];
             }
         }
         plan
@@ -138,7 +141,7 @@ impl<F: forecast::Forecaster> Policy for PredictivePolicy<F> {
                 .collect();
             self.planned_at = Some(ctx.day);
         }
-        let offset = ctx.day - self.planned_at.expect("planned above");
+        let offset = ctx.day - self.planned_at.unwrap_or(ctx.day);
         self.plans
             .iter()
             .zip(ctx.current)
@@ -199,10 +202,7 @@ mod tests {
         let mut policy = PredictivePolicy::new(SeasonalNaive::new(7), 7);
         let predictive = simulate(&trace, &model, &mut policy, &cfg).total_cost();
         let hot = simulate(&trace, &model, &mut HotPolicy, &cfg).total_cost();
-        assert!(
-            predictive < hot,
-            "predictive {predictive} should beat always-hot {hot}"
-        );
+        assert!(predictive < hot, "predictive {predictive} should beat always-hot {hot}");
     }
 
     #[test]

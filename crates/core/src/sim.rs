@@ -59,11 +59,7 @@ impl SimResult {
     /// Cumulative cost through day `d` inclusive (clamped to the horizon).
     #[must_use]
     pub fn cumulative_cost(&self, d: usize) -> Money {
-        self.daily
-            .iter()
-            .take(d.saturating_add(1))
-            .map(CostBreakdown::total)
-            .sum()
+        self.daily.iter().take(d.saturating_add(1)).map(CostBreakdown::total).sum()
     }
 
     /// Number of simulated days.

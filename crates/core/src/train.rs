@@ -152,11 +152,7 @@ impl MiniCost {
     /// Final optimal-action rate observed during training, if recorded.
     #[must_use]
     pub fn final_optimal_rate(&self) -> Option<f64> {
-        self.result
-            .progress
-            .iter()
-            .rev()
-            .find_map(|p| p.optimal_rate)
+        self.result.progress.iter().rev().find_map(|p| p.optimal_rate)
     }
 }
 
@@ -203,13 +199,9 @@ mod tests {
         // learned policy should not be wildly worse than always-hot, and
         // can never beat Optimal.
         let hot = simulate(&trace, &model, &mut HotPolicy, &sim_cfg).total_cost();
-        let opt = simulate(
-            &trace,
-            &model,
-            &mut OptimalPolicy::plan(&trace, &model, Tier::Hot),
-            &sim_cfg,
-        )
-        .total_cost();
+        let opt =
+            simulate(&trace, &model, &mut OptimalPolicy::plan(&trace, &model, Tier::Hot), &sim_cfg)
+                .total_cost();
         assert!(result.total_cost() >= opt);
         assert!(
             result.total_cost().as_dollars() <= 3.0 * hot.as_dollars(),

@@ -350,12 +350,8 @@ mod tests {
             .collect();
         let f = Arima::new(7, 0, 0).forecast(&history, 7);
         for (k, v) in f.iter().enumerate() {
-            let expected =
-                100.0 + 30.0 * (std::f64::consts::TAU * (63 + k) as f64 / 7.0).sin();
-            assert!(
-                (v - expected).abs() < 5.0,
-                "step {k}: forecast {v} vs true {expected}"
-            );
+            let expected = 100.0 + 30.0 * (std::f64::consts::TAU * (63 + k) as f64 / 7.0).sin();
+            assert!((v - expected).abs() < 5.0, "step {k}: forecast {v} vs true {expected}");
         }
     }
 

@@ -154,11 +154,7 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names = [
-            Naive.name(),
-            SeasonalNaive::new(7).name(),
-            Ewma::new(0.5).name(),
-        ];
+        let names = [Naive.name(), SeasonalNaive::new(7).name(), Ewma::new(0.5).name()];
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
     }

@@ -40,12 +40,17 @@ impl ErrorSummary {
             return None;
         }
         let mut sorted = errors.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN error sample"));
+        sorted.sort_by(f64::total_cmp);
         let pick = |q: f64| {
             let rank = (q * (sorted.len() - 1) as f64).round() as usize;
             sorted[rank]
         };
-        Some(ErrorSummary { p01: pick(0.01), p50: pick(0.50), p99: pick(0.99), count: errors.len() })
+        Some(ErrorSummary {
+            p01: pick(0.01),
+            p50: pick(0.50),
+            p99: pick(0.99),
+            count: errors.len(),
+        })
     }
 
     /// The widest absolute deviation among the summarized percentiles —
@@ -62,11 +67,7 @@ impl ErrorSummary {
 #[must_use]
 pub fn forecast_errors(truth: &[f64], predicted: &[f64]) -> Vec<f64> {
     assert_eq!(truth.len(), predicted.len(), "length mismatch");
-    truth
-        .iter()
-        .zip(predicted)
-        .map(|(&t, &p)| relative_error(t, p))
-        .collect()
+    truth.iter().zip(predicted).map(|(&t, &p)| relative_error(t, p)).collect()
 }
 
 #[cfg(test)]

@@ -23,15 +23,11 @@ pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
     for col in 0..n {
         // Partial pivot: largest |value| in this column at or below the diagonal.
         let pivot_row = (col..n)
-            .max_by(|&r1, &r2| {
-                m[r1 * n + col]
-                    .abs()
-                    .partial_cmp(&m[r2 * n + col].abs())
-                    .expect("NaN in linear system")
-            })
-            .expect("non-empty pivot range");
+            .max_by(|&r1, &r2| m[r1 * n + col].abs().total_cmp(&m[r2 * n + col].abs()))
+            .unwrap_or(col);
         let pivot = m[pivot_row * n + col];
-        if pivot.abs() < 1e-12 {
+        // A NaN pivot (NaN input) is treated like a singular system.
+        if pivot.is_nan() || pivot.abs() < 1e-12 {
             return None;
         }
         if pivot_row != col {
@@ -92,11 +88,7 @@ pub fn least_squares(x: &[f64], y: &[f64], rows: usize, cols: usize) -> Option<V
         }
     }
     // Mirror the upper triangle and add a tiny ridge.
-    let ridge = 1e-8
-        * (0..cols)
-            .map(|i| xtx[i * cols + i])
-            .fold(0.0f64, f64::max)
-            .max(1e-12);
+    let ridge = 1e-8 * (0..cols).map(|i| xtx[i * cols + i]).fold(0.0f64, f64::max).max(1e-12);
     for i in 0..cols {
         for j in 0..i {
             xtx[i * cols + j] = xtx[j * cols + i];
@@ -177,11 +169,8 @@ mod tests {
         // Noisy line: fitted slope must beat slope±0.5 in residual norm.
         let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
         let noise = [0.3, -0.2, 0.1, -0.4, 0.2];
-        let y: Vec<f64> = xs
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| 1.5 * x + noise[i % noise.len()])
-            .collect();
+        let y: Vec<f64> =
+            xs.iter().enumerate().map(|(i, &x)| 1.5 * x + noise[i % noise.len()]).collect();
         let design: Vec<f64> = xs.clone();
         let beta = least_squares(&design, &y, 20, 1).unwrap();
         let rss = |slope: f64| -> f64 {

@@ -61,11 +61,7 @@ impl Layer for Dense {
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         assert_eq!(grad_output.cols(), self.out_dim, "dense grad width mismatch");
-        assert_eq!(
-            grad_output.rows(),
-            self.last_input.rows(),
-            "backward batch mismatch"
-        );
+        assert_eq!(grad_output.rows(), self.last_input.rows(), "backward batch mismatch");
         // dW = x^T g ; db = column sums of g ; dx = g W^T
         self.grad_weights = self.grad_weights.add(&self.last_input.t_matmul(grad_output));
         for (gb, s) in self.grad_bias.iter_mut().zip(grad_output.column_sums()) {
@@ -84,9 +80,7 @@ impl Layer for Dense {
         let n = self.param_count();
         assert!(flat.len() >= n, "parameter buffer too short");
         let w_len = self.in_dim * self.out_dim;
-        self.weights
-            .as_mut_slice()
-            .copy_from_slice(&flat[..w_len]);
+        self.weights.as_mut_slice().copy_from_slice(&flat[..w_len]);
         self.bias.copy_from_slice(&flat[w_len..n]);
         n
     }

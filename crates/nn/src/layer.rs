@@ -209,9 +209,8 @@ mod tests {
             let mut minus = x.clone();
             minus.set(0, i, x.get(0, i) - eps);
             let mut r2 = Relu::new();
-            let loss = |m: &Matrix| -> f64 {
-                m.as_slice().iter().zip(&w).map(|(a, b)| a * b).sum()
-            };
+            let loss =
+                |m: &Matrix| -> f64 { m.as_slice().iter().zip(&w).map(|(a, b)| a * b).sum() };
             let fd = (loss(&r2.forward(&plus)) - loss(&r2.forward(&minus))) / (2.0 * eps);
             assert!((analytic.get(0, i) - fd).abs() < 1e-5, "dim {i}");
         }

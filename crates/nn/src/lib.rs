@@ -43,6 +43,12 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must surface failures as values (L2 no-panic-in-libs); tests
+// may unwrap freely.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+// Tests assert bit-exact float reproducibility on purpose.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 
 pub mod conv;
 pub mod dense;

@@ -205,11 +205,7 @@ impl Matrix {
     /// Element-wise map.
     #[must_use]
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Element-wise product (Hadamard). Panics on shape mismatch.

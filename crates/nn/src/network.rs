@@ -24,9 +24,7 @@ impl Network {
     /// mismatch — call this once at construction time in debug paths.
     #[must_use]
     pub fn check_widths(&self, input_width: usize) -> usize {
-        self.layers
-            .iter()
-            .fold(input_width, |w, layer| layer.output_width(w))
+        self.layers.iter().fold(input_width, |w, layer| layer.output_width(w))
     }
 
     /// Forward pass over a batch.
@@ -243,11 +241,7 @@ mod tests {
         let x = Matrix::row_vector(&[0.5, -0.2, 0.8]);
         let target = [1.0, -1.0];
         let loss_of = |y: &Matrix| -> f64 {
-            y.as_slice()
-                .iter()
-                .zip(&target)
-                .map(|(a, b)| 0.5 * (a - b) * (a - b))
-                .sum()
+            y.as_slice().iter().zip(&target).map(|(a, b)| 0.5 * (a - b) * (a - b)).sum()
         };
         let mut first = None;
         let mut last = 0.0;
@@ -255,8 +249,7 @@ mod tests {
             let y = net.forward(&x);
             last = loss_of(&y);
             first.get_or_insert(last);
-            let grad: Vec<f64> =
-                y.as_slice().iter().zip(&target).map(|(a, b)| a - b).collect();
+            let grad: Vec<f64> = y.as_slice().iter().zip(&target).map(|(a, b)| a - b).collect();
             net.zero_grads();
             net.backward(&Matrix::row_vector(&grad));
             let g = net.grad_vector();

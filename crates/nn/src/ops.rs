@@ -34,11 +34,7 @@ pub fn mse_loss(pred: &[f64], target: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter()
-        .zip(target)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum::<f64>()
-        / pred.len() as f64
+    pred.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64
 }
 
 /// Gradient of [`mse_loss`] w.r.t. `pred`: `2 (pred - target) / n`.

@@ -149,8 +149,11 @@ impl CostModel {
         }
         Tier::all()
             .map(|t| (t, totals[t.index()]))
-            .min_by_key(|&(_, cost)| cost)
-            .expect("tier set is non-empty")
+            .fold(None, |best: Option<(Tier, Money)>, cand| match best {
+                Some(b) if b.1 <= cand.1 => Some(b),
+                _ => Some(cand),
+            })
+            .unwrap_or((Tier::Hot, Money::ZERO))
     }
 }
 
@@ -225,10 +228,7 @@ mod tests {
         let m = model();
         let days = [(10u64, 1u64), (20, 2), (0, 0)];
         let (tier, total) = m.best_single_tier(0.25, days.iter().copied());
-        let manual: Money = days
-            .iter()
-            .map(|&(r, w)| m.steady_day_cost(0.25, r, w, tier))
-            .sum();
+        let manual: Money = days.iter().map(|&(r, w)| m.steady_day_cost(0.25, r, w, tier)).sum();
         assert_eq!(total, manual);
     }
 
@@ -243,15 +243,9 @@ mod tests {
     #[test]
     fn breakdown_sum_over_days() {
         let m = model();
-        let days = [
-            FileDay::steady(0.1, 10, 1, Tier::Hot),
-            FileDay::steady(0.1, 20, 2, Tier::Hot),
-        ];
+        let days = [FileDay::steady(0.1, 10, 1, Tier::Hot), FileDay::steady(0.1, 20, 2, Tier::Hot)];
         let total: CostBreakdown = days.iter().map(|d| m.day_breakdown(d)).sum();
-        assert_eq!(
-            total.total(),
-            m.day_cost(&days[0]) + m.day_cost(&days[1])
-        );
+        assert_eq!(total.total(), m.day_cost(&days[0]) + m.day_cost(&days[1]));
     }
 
     proptest! {

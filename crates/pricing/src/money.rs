@@ -19,9 +19,7 @@ const MICROS: i64 = 1_000_000;
 ///
 /// Construction from floating-point dollar amounts rounds to the nearest
 /// micro-dollar; all subsequent arithmetic is exact integer arithmetic.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Money(i64);
 
 impl Money {
@@ -31,6 +29,10 @@ impl Money {
     /// Largest representable amount (used as an "infinite cost" sentinel in
     /// optimization code).
     pub const MAX: Money = Money(i64::MAX);
+
+    /// Smallest (most negative) representable amount; the saturation floor
+    /// for subtraction.
+    pub const MIN: Money = Money(i64::MIN);
 
     /// Creates a `Money` from a dollar amount, rounding to the nearest
     /// micro-dollar (ties away from zero, like `f64::round`).
@@ -62,6 +64,25 @@ impl Money {
     #[must_use]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
+    }
+
+    /// Dimensionless ratio `self / denom`.
+    ///
+    /// This is the approved way for code outside this crate to compare two
+    /// amounts multiplicatively (reward normalization, cost-vs-optimal
+    /// ratios): the division happens here, so callers never do raw float
+    /// arithmetic on dollar values (the `money-safety` lint enforces this).
+    #[must_use]
+    pub fn ratio_to(self, denom: Money) -> f64 {
+        self.as_dollars() / denom.as_dollars()
+    }
+
+    /// Like [`Money::ratio_to`], but clamps the denominator to at least
+    /// `floor_dollars` so a zero or near-zero reference cannot produce an
+    /// infinite ratio.
+    #[must_use]
+    pub fn ratio_with_floor(self, denom: Money, floor_dollars: f64) -> f64 {
+        self.as_dollars() / denom.as_dollars().max(floor_dollars)
     }
 
     /// Saturating addition; useful when folding with `Money::MAX` sentinels.
@@ -106,29 +127,35 @@ impl Money {
     }
 }
 
+// Overflow policy: `+`, `-`, and `Sum` saturate at `Money::MIN`/`Money::MAX`
+// rather than wrapping or panicking. i64 micro-dollars overflow at ~$9.2e12;
+// a ledger that large is already garbage, and a saturated total stays ordered
+// (greater than every real cost), so cost comparisons degrade gracefully
+// instead of aborting a long experiment. Exact-by-construction call sites
+// that want to be explicit can keep using `saturating_add`.
 impl Add for Money {
     type Output = Money;
     fn add(self, rhs: Money) -> Money {
-        Money(self.0 + rhs.0)
+        Money(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for Money {
     fn add_assign(&mut self, rhs: Money) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
 impl Sub for Money {
     type Output = Money;
     fn sub(self, rhs: Money) -> Money {
-        Money(self.0 - rhs.0)
+        Money(self.0.saturating_sub(rhs.0))
     }
 }
 
 impl SubAssign for Money {
     fn sub_assign(&mut self, rhs: Money) {
-        self.0 -= rhs.0;
+        self.0 = self.0.saturating_sub(rhs.0);
     }
 }
 
@@ -235,7 +262,7 @@ mod tests {
     #[test]
     fn scale_by_fraction() {
         let unit = Money::from_dollars(0.0184); // $/GB·month
-        // 0.1 GB worth.
+                                                // 0.1 GB worth.
         assert_eq!(unit.scale(0.1), Money::from_dollars(0.00184));
         assert_eq!(unit.scale(0.0), Money::ZERO);
     }
@@ -274,5 +301,61 @@ mod tests {
             let m = Money::from_micros(micros);
             prop_assert_eq!(m.scale(1.0), m);
         }
+
+        #[test]
+        fn sum_is_invariant_under_shuffle(
+            mut v in proptest::collection::vec(-1_000_000_000i64..1_000_000_000, 0..64),
+            seed in 0u64..1024,
+        ) {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let forward: Money = v.iter().map(|&x| Money::from_micros(x)).sum();
+            v.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+            let shuffled: Money = v.iter().map(|&x| Money::from_micros(x)).sum();
+            prop_assert_eq!(forward, shuffled);
+        }
+
+        #[test]
+        fn addition_near_i64_max_saturates(delta in 0i64..1_000_000) {
+            // Documented overflow policy: saturate, never wrap or panic.
+            let near_max = Money::from_micros(i64::MAX - 500_000);
+            let sum = near_max + Money::from_micros(delta);
+            prop_assert!(sum >= near_max);
+            prop_assert!(sum <= Money::MAX);
+            let near_min = Money::from_micros(i64::MIN + 500_000);
+            let diff = near_min - Money::from_micros(delta);
+            prop_assert!(diff <= near_min);
+            prop_assert!(diff >= Money::MIN);
+        }
+
+        #[test]
+        fn ratio_matches_dollar_division(
+            a in -1_000_000_000i64..1_000_000_000,
+            b in 1i64..1_000_000_000,
+        ) {
+            let (ma, mb) = (Money::from_micros(a), Money::from_micros(b));
+            let expected = ma.as_dollars() / mb.as_dollars();
+            prop_assert_eq!(ma.ratio_to(mb), expected);
+            prop_assert_eq!(ma.ratio_with_floor(mb, 0.0), expected);
+        }
+    }
+
+    #[test]
+    fn add_saturates_at_extremes() {
+        assert_eq!(Money::MAX + Money::MAX, Money::MAX);
+        assert_eq!(Money::MIN + Money::MIN, Money::MIN);
+        assert_eq!(Money::MIN - Money::MAX, Money::MIN);
+        let mut acc = Money::MAX;
+        acc += Money::from_micros(1);
+        assert_eq!(acc, Money::MAX);
+    }
+
+    #[test]
+    fn ratio_with_floor_guards_zero_reference() {
+        let m = Money::from_dollars(2.0);
+        let r = m.ratio_with_floor(Money::ZERO, 1e-9);
+        assert!(r.is_finite());
+        assert!(r > 0.0);
+        assert_eq!(m.ratio_with_floor(Money::from_dollars(4.0), 1e-9), 0.5);
     }
 }

@@ -140,7 +140,6 @@ impl PricingPolicy {
         }
     }
 
-
     /// The pricing policy the paper's evaluation implies (§6.1, Figs. 3, 7,
     /// 8): Azure's 2020 storage and per-operation prices with **negligible
     /// per-GB retrieval charges**.
@@ -275,7 +274,6 @@ mod tests {
         assert!(p.tier(Tier::Archive).read_per_10k > 100.0 * p.tier(Tier::Hot).read_per_10k);
     }
 
-
     #[test]
     fn paper_preset_has_midrange_breakeven() {
         // The defining property: for a 100 MB file, the hot/cool breakeven
@@ -283,18 +281,13 @@ mod tests {
         // so tier choice genuinely depends on traffic.
         let p = PricingPolicy::paper_2020();
         let size = 0.1; // GB
-        let storage_delta = (p.tier(Tier::Hot).storage_gb_month
-            - p.tier(Tier::Cool).storage_gb_month)
-            / 30.0
-            * size;
-        let per_op_delta = (p.tier(Tier::Cool).read_per_10k
-            - p.tier(Tier::Hot).read_per_10k)
-            / 10_000.0;
+        let storage_delta =
+            (p.tier(Tier::Hot).storage_gb_month - p.tier(Tier::Cool).storage_gb_month) / 30.0
+                * size;
+        let per_op_delta =
+            (p.tier(Tier::Cool).read_per_10k - p.tier(Tier::Hot).read_per_10k) / 10_000.0;
         let breakeven = storage_delta / per_op_delta;
-        assert!(
-            (10.0..200.0).contains(&breakeven),
-            "breakeven {breakeven} reads/day"
-        );
+        assert!((10.0..200.0).contains(&breakeven), "breakeven {breakeven} reads/day");
     }
 
     #[test]
@@ -304,12 +297,10 @@ mod tests {
         // op saving at 1000 reads/day.
         let p = PricingPolicy::paper_2020();
         let size = 0.1;
-        let round_trip = p.change_cost(Tier::Cool, Tier::Hot, size)
-            + p.change_cost(Tier::Hot, Tier::Cool, size);
+        let round_trip =
+            p.change_cost(Tier::Cool, Tier::Hot, size) + p.change_cost(Tier::Hot, Tier::Cool, size);
         let burst_saving = Money::from_dollars(
-            1000.0
-                * (p.tier(Tier::Cool).read_per_10k - p.tier(Tier::Hot).read_per_10k)
-                / 10_000.0,
+            1000.0 * (p.tier(Tier::Cool).read_per_10k - p.tier(Tier::Hot).read_per_10k) / 10_000.0,
         );
         assert!(
             round_trip < burst_saving * 2,

@@ -17,9 +17,7 @@ pub const TIER_COUNT: usize = 3;
 ///
 /// Ordering is from most access-optimized to most storage-optimized:
 /// `Hot < Cool < Archive`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 #[repr(u8)]
 pub enum Tier {
     /// Frequent access: cheapest operations, most expensive storage.
@@ -101,9 +99,7 @@ impl TierSet {
     /// The standard Azure-like three-tier set.
     #[must_use]
     pub fn standard() -> Self {
-        TierSet {
-            names: Tier::ALL.iter().map(|t| t.name().to_owned()).collect(),
-        }
+        TierSet { names: Tier::ALL.iter().map(|t| t.name().to_owned()).collect() }
     }
 
     /// Number of tiers (the paper's Γ).

@@ -1,9 +1,7 @@
 //! Actor and critic networks and their per-batch gradient computation.
 
 use crate::memory::Transition;
-use nn::{
-    policy_gradient_loss, softmax, Conv1d, ConvBranch, Dense, Matrix, Network, Relu,
-};
+use nn::{policy_gradient_loss, softmax, Conv1d, ConvBranch, Dense, Matrix, Network, Relu};
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
 
@@ -220,8 +218,7 @@ impl ActorCritic {
         // to condition on state.
         if self.normalize_advantages {
             let mean = advantages.iter().sum::<f64>() * scale;
-            let var =
-                advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() * scale;
+            let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() * scale;
             let sd = var.sqrt().max(1e-6);
             for a in &mut advantages {
                 *a = (*a - mean) / sd;
@@ -240,12 +237,8 @@ impl ActorCritic {
 
             // Actor: normalized-advantage policy gradient on the logits.
             let logits_m = self.actor.forward(&Matrix::row_vector(&tr.state));
-            let pg = policy_gradient_loss(
-                logits_m.row(0),
-                tr.action,
-                advantage,
-                self.entropy_coeff,
-            );
+            let pg =
+                policy_gradient_loss(logits_m.row(0), tr.action, advantage, self.entropy_coeff);
             actor_loss += pg.loss;
             let logits = logits_m.row(0);
             // Optional oracle imitation: plain cross-entropy toward the
@@ -254,9 +247,7 @@ impl ActorCritic {
                 (coeff, Some(oracle)) if coeff > 0.0 => {
                     let probs = softmax(logits);
                     (0..logits.len())
-                        .map(|i| {
-                            coeff * (probs[i] - if i == oracle { 1.0 } else { 0.0 })
-                        })
+                        .map(|i| coeff * (probs[i] - if i == oracle { 1.0 } else { 0.0 }))
                         .collect()
                 }
                 _ => vec![0.0; logits.len()],
@@ -309,7 +300,16 @@ mod tests {
     use rand::SeedableRng;
 
     fn spec() -> NetSpec {
-        NetSpec { window: 7, channels: 1, extras: 3, filters: 4, kernel: 4, stride: 1, hidden: 8, actions: 3 }
+        NetSpec {
+            window: 7,
+            channels: 1,
+            extras: 3,
+            filters: 4,
+            kernel: 4,
+            stride: 1,
+            hidden: 8,
+            actions: 3,
+        }
     }
 
     fn state() -> Vec<f64> {
@@ -398,7 +398,9 @@ mod tests {
             action: 1,
             reward: 2.0,
             next_state: state(),
-            done: false, oracle: None };
+            done: false,
+            oracle: None,
+        };
         let (al, cl) = ac.accumulate_gradients(&[tr]);
         assert!(al.is_finite() && cl > 0.0);
         assert!(ac.actor.grad_vector().iter().any(|&g| g != 0.0));

@@ -120,7 +120,8 @@ pub struct DqnResult {
 /// Panics on invalid configuration or env/spec mismatch.
 pub fn train_dqn<E: Env>(spec: NetSpec, cfg: &DqnConfig, mut env: E) -> DqnResult {
     if let Err(e) = cfg.validate() {
-        panic!("invalid DqnConfig: {e}");
+        // Documented contract: callers must validate their config first.
+        panic!("invalid DqnConfig: {e}"); // xtask-allow: no-panic-in-libs
     }
     assert_eq!(env.state_dim(), spec.state_dim(), "state width mismatch");
     assert_eq!(env.n_actions(), spec.actions, "action count mismatch");
@@ -276,20 +277,12 @@ mod tests {
 
     #[test]
     fn dqn_learns_the_bandit() {
-        let cfg = DqnConfig {
-            total_updates: 600,
-            learning_rate: 0.01,
-            seed: 1,
-            ..DqnConfig::default()
-        };
+        let cfg =
+            DqnConfig { total_updates: 600, learning_rate: 0.01, seed: 1, ..DqnConfig::default() };
         let result = train_dqn(tiny_spec(), &cfg, Padded(Bandit { steps: 0 }));
         let mut q = q_network(&result);
         let values = q.forward(&Matrix::row_vector(&[1.0, 0.0]));
-        assert!(
-            values.get(0, 1) > values.get(0, 0),
-            "Q-values {:?}",
-            values.row(0)
-        );
+        assert!(values.get(0, 1) > values.get(0, 0), "Q-values {:?}", values.row(0));
         assert!(result.final_optimal_rate.unwrap() > 0.6);
         assert!(result.final_loss.is_finite());
     }
@@ -317,11 +310,7 @@ mod tests {
         let a = train_dqn(tiny_spec(), &cfg, Padded(Bandit { steps: 0 }));
         let b = train_dqn(tiny_spec(), &cfg, Padded(Bandit { steps: 0 }));
         assert_eq!(a.q_params, b.q_params);
-        let c = train_dqn(
-            tiny_spec(),
-            &DqnConfig { seed: 4, ..cfg },
-            Padded(Bandit { steps: 0 }),
-        );
+        let c = train_dqn(tiny_spec(), &DqnConfig { seed: 4, ..cfg }, Padded(Bandit { steps: 0 }));
         assert_ne!(a.q_params, c.q_params);
     }
 

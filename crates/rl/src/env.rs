@@ -103,11 +103,7 @@ pub(crate) mod test_envs {
             let reward = if action == self.context { 1.0 } else { -1.0 };
             self.steps += 1;
             self.context = (self.context + 1) % 2;
-            let state = if self.context == 0 {
-                vec![1.0, 0.0]
-            } else {
-                vec![0.0, 1.0]
-            };
+            let state = if self.context == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] };
             Step { next_state: state, reward, done: self.steps >= 8 }
         }
 

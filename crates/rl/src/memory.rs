@@ -71,9 +71,7 @@ impl ReplayMemory {
         if self.buffer.is_empty() {
             return Vec::new();
         }
-        (0..batch)
-            .map(|_| self.buffer[rng.random_range(0..self.buffer.len())].clone())
-            .collect()
+        (0..batch).map(|_| self.buffer[rng.random_range(0..self.buffer.len())].clone()).collect()
     }
 
     /// Drops all stored transitions.
@@ -94,7 +92,9 @@ mod tests {
             action: 0,
             reward: tag,
             next_state: vec![tag + 1.0],
-            done: false, oracle: None }
+            done: false,
+            oracle: None,
+        }
     }
 
     #[test]
@@ -140,10 +140,7 @@ mod tests {
             counts[s.reward as usize] += 1;
         }
         for (i, &c) in counts.iter().enumerate() {
-            assert!(
-                (c as f64 - 1000.0).abs() < 150.0,
-                "slot {i} sampled {c} times"
-            );
+            assert!((c as f64 - 1000.0).abs() < 150.0, "slot {i} sampled {c} times");
         }
     }
 

@@ -24,10 +24,9 @@ impl RollingRate {
 
     /// Records one observation.
     pub fn record(&mut self, hit: bool) {
-        if self.hits.len() == self.window
-            && self.hits.pop_front() == Some(true) {
-                self.hit_count -= 1;
-            }
+        if self.hits.len() == self.window && self.hits.pop_front() == Some(true) {
+            self.hit_count -= 1;
+        }
         self.hits.push_back(hit);
         if hit {
             self.hit_count += 1;

@@ -143,12 +143,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_clip_norm_rejected() {
-        let _ = ParamStore::new(
-            vec![],
-            vec![],
-            Box::new(Sgd::new(1.0)),
-            Box::new(Sgd::new(1.0)),
-            0.0,
-        );
+        let _ =
+            ParamStore::new(vec![], vec![], Box::new(Sgd::new(1.0)), Box::new(Sgd::new(1.0)), 0.0);
     }
 }

@@ -20,9 +20,7 @@ pub const CV_BUCKET_LABELS: [&str; CV_BUCKET_COUNT] =
     ["0-0.1", "0.1-0.3", "0.3-0.5", "0.5-0.8", ">0.8"];
 
 /// A CV bucket index (`0..CV_BUCKET_COUNT`).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct CvBucket(pub usize);
 
 impl CvBucket {
@@ -104,7 +102,7 @@ pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
     Some(sorted[rank])
 }
@@ -220,10 +218,7 @@ mod tests {
 
     #[test]
     fn summary_over_trivial_trace() {
-        let trace = Trace {
-            days: 2,
-            files: vec![file(vec![2, 4]), file(vec![0, 0])],
-        };
+        let trace = Trace { days: 2, files: vec![file(vec![2, 4]), file(vec![0, 0])] };
         let s = summarize(&trace);
         assert_eq!(s.files, 2);
         assert_eq!(s.days, 2);

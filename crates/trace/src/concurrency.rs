@@ -82,12 +82,7 @@ impl CoRequestModel {
         // uniformly at random would make the quietest member dominate the
         // joint request count and no group would ever clear Eq. 15.
         let mut pool: Vec<usize> = (0..trace.files.len()).collect();
-        pool.sort_by(|&a, &b| {
-            trace.files[b]
-                .mean_reads()
-                .partial_cmp(&trace.files[a].mean_reads())
-                .expect("finite means")
-        });
+        pool.sort_by(|&a, &b| trace.files[b].mean_reads().total_cmp(&trace.files[a].mean_reads()));
         let window = (self.max_size * 4).max(8);
         let mut start = 0;
         while start < pool.len() {
@@ -103,18 +98,13 @@ impl CoRequestModel {
             if pool.len() < size {
                 break;
             }
-            let members: Vec<FileId> = pool
-                .drain(pool.len() - size..)
-                .map(|ix| FileId(ix as u32))
-                .collect();
+            let members: Vec<FileId> =
+                pool.drain(pool.len() - size..).map(|ix| FileId(ix as u32)).collect();
             let share: f64 = rng.random_range(0.0..self.level.max(f64::MIN_POSITIVE));
             let concurrent = (0..trace.days)
                 .map(|day| {
-                    let min_reads = members
-                        .iter()
-                        .map(|id| trace.file(*id).reads[day])
-                        .min()
-                        .unwrap_or(0);
+                    let min_reads =
+                        members.iter().map(|id| trace.file(*id).reads[day]).min().unwrap_or(0);
                     (min_reads as f64 * share).floor() as u64
                 })
                 .collect();
@@ -191,10 +181,8 @@ mod tests {
 
     #[test]
     fn mean_concurrent_over_window() {
-        let g = CoRequestGroup {
-            members: vec![FileId(0), FileId(1)],
-            concurrent: vec![2, 4, 6, 8],
-        };
+        let g =
+            CoRequestGroup { members: vec![FileId(0), FileId(1)], concurrent: vec![2, 4, 6, 8] };
         assert_eq!(g.mean_concurrent(0..4), 5.0);
         assert_eq!(g.mean_concurrent(1..3), 5.0);
         assert_eq!(g.mean_concurrent(2..2), 0.0);

@@ -154,19 +154,15 @@ mod tests {
         let base = TraceConfig::default();
         assert!(TraceConfig { files: 0, ..base.clone() }.validate().is_err());
         assert!(TraceConfig { days: 0, ..base.clone() }.validate().is_err());
-        assert!(
-            TraceConfig { bucket_mix: [0.5, 0.0, 0.0, 0.0, 0.0], ..base.clone() }
-                .validate()
-                .is_err()
-        );
+        assert!(TraceConfig { bucket_mix: [0.5, 0.0, 0.0, 0.0, 0.0], ..base.clone() }
+            .validate()
+            .is_err());
         assert!(TraceConfig { mean_size_mb: 0.0, ..base.clone() }.validate().is_err());
         assert!(TraceConfig { seasonal_share: 1.5, ..base.clone() }.validate().is_err());
         assert!(TraceConfig { write_ratio: -0.1, ..base.clone() }.validate().is_err());
-        assert!(
-            TraceConfig { peak_daily_reads: 0.1, min_daily_reads: 1.0, ..base }
-                .validate()
-                .is_err()
-        );
+        assert!(TraceConfig { peak_daily_reads: 0.1, min_daily_reads: 1.0, ..base }
+            .validate()
+            .is_err());
     }
 
     #[test]

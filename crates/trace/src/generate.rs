@@ -60,7 +60,8 @@ mod viral {
 #[must_use]
 pub fn generate(config: &TraceConfig) -> Trace {
     if let Err(e) = config.validate() {
-        panic!("invalid TraceConfig: {e}");
+        // Documented contract: callers must validate their config first.
+        panic!("invalid TraceConfig: {e}"); // xtask-allow: no-panic-in-libs
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
 
@@ -75,9 +76,7 @@ pub fn generate(config: &TraceConfig) -> Trace {
         let z = sampling::standard_normal(&mut rng);
         let median = config.median_daily_reads * config.bucket_popularity_boost[buckets[i]];
         let log10_base = median.log10() + config.popularity_sigma * z;
-        let base = 10f64
-            .powf(log10_base)
-            .clamp(config.min_daily_reads, config.peak_daily_reads);
+        let base = 10f64.powf(log10_base).clamp(config.min_daily_reads, config.peak_daily_reads);
 
         let (cv_lo, cv_hi) = BUCKET_CV_RANGES[buckets[i]];
         let target_cv = rng.random_range(cv_lo..cv_hi);
@@ -101,16 +100,11 @@ pub fn generate(config: &TraceConfig) -> Trace {
         let w = config.seasonal_share.sqrt();
         let noise_w = (1.0 - config.seasonal_share).sqrt();
         // Intrinsic CV after budgeting for the rounding contribution.
-        let cv = (target_cv * target_cv - (ROUNDING_SD / base).powi(2))
-            .max(0.0)
-            .sqrt();
+        let cv = (target_cv * target_cv - (ROUNDING_SD / base).powi(2)).max(0.0).sqrt();
 
         let viral_file = buckets[i] == 4;
-        let base = if viral_file {
-            base.clamp(viral::REST_BAND.0, viral::REST_BAND.1)
-        } else {
-            base
-        };
+        let base =
+            if viral_file { base.clamp(viral::REST_BAND.0, viral::REST_BAND.1) } else { base };
         let mut event_days_left = 0usize;
         let mut event_factor = 1.0f64;
         let mut reads = Vec::with_capacity(config.days);
@@ -174,7 +168,7 @@ fn assign_buckets(files: usize, mix: &[f64; 5], rng: &mut StdRng) -> Vec<usize> 
         remainders.push((b, exact - exact.floor()));
     }
     // Distribute leftovers to the buckets with the largest remainders.
-    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut leftover = files - assigned;
     for (b, _) in remainders {
         if leftover == 0 {
@@ -240,10 +234,7 @@ mod tests {
         let writes: u64 = t.files.iter().map(|f| f.writes.iter().sum::<u64>()).sum();
         let ratio = writes as f64 / reads as f64;
         // Rounding to integers biases small counts; allow slack.
-        assert!(
-            (ratio - cfg.write_ratio).abs() < cfg.write_ratio,
-            "write ratio {ratio}"
-        );
+        assert!((ratio - cfg.write_ratio).abs() < cfg.write_ratio, "write ratio {ratio}");
     }
 
     #[test]
@@ -254,13 +245,8 @@ mod tests {
         let t = generate(&cfg);
         let hist = analysis::bucket_histogram(&t);
         let fractions = hist.fractions();
-        for (b, (&got, &want)) in
-            fractions.iter().zip(cfg.bucket_mix.iter()).enumerate()
-        {
-            assert!(
-                (got - want).abs() < 0.04,
-                "bucket {b}: got {got:.4}, paper {want:.4}"
-            );
+        for (b, (&got, &want)) in fractions.iter().zip(cfg.bucket_mix.iter()).enumerate() {
+            assert!((got - want).abs() < 0.04, "bucket {b}: got {got:.4}, paper {want:.4}");
         }
     }
 

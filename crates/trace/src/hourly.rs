@@ -74,11 +74,7 @@ impl DiurnalProfile {
         }
         // Expected per-hour counts (optionally jittered), then scale back
         // to the exact total via largest remainders.
-        let mut expected: Vec<f64> = self
-            .weights
-            .iter()
-            .map(|&w| w * total as f64)
-            .collect();
+        let mut expected: Vec<f64> = self.weights.iter().map(|&w| w * total as f64).collect();
         if let Some(rng) = jitter {
             for e in &mut expected {
                 *e = sampling::poisson(rng, *e) as f64;
@@ -101,7 +97,7 @@ impl DiurnalProfile {
             assigned += floor;
             remainders.push((h, e - e.floor()));
         }
-        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders"));
+        remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut leftover = total - assigned;
         for (h, _) in remainders {
             if leftover == 0 {
@@ -143,10 +139,7 @@ impl HourlySeries {
     /// Re-bins to daily counts — the paper's §6.1 preprocessing step.
     #[must_use]
     pub fn rebin_daily(&self) -> Vec<u64> {
-        self.reads
-            .chunks(HOURS)
-            .map(|day| day.iter().sum())
-            .collect()
+        self.reads.chunks(HOURS).map(|day| day.iter().sum()).collect()
     }
 }
 

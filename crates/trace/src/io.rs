@@ -19,48 +19,46 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 /// Writes `trace` as interchange CSV.
 ///
 /// # Errors
-/// Propagates I/O errors from the writer.
-pub fn write_csv<W: Write>(trace: &Trace, writer: W) -> std::io::Result<()> {
+/// Propagates I/O errors from the writer as [`TraceIoError::Io`].
+pub fn write_csv<W: Write>(trace: &Trace, writer: W) -> Result<(), TraceIoError> {
     let mut out = BufWriter::new(writer);
     writeln!(out, "id,size_gb,reads,writes")?;
     for file in &trace.files {
         let reads: Vec<String> = file.reads.iter().map(u64::to_string).collect();
         let writes: Vec<String> = file.writes.iter().map(u64::to_string).collect();
-        writeln!(
-            out,
-            "{},{},{},{}",
-            file.id.0,
-            file.size_gb,
-            reads.join(";"),
-            writes.join(";")
-        )?;
+        writeln!(out, "{},{},{},{}", file.id.0, file.size_gb, reads.join(";"), writes.join(";"))?;
     }
-    out.flush()
+    out.flush()?;
+    Ok(())
 }
 
-/// Errors from [`read_csv`].
+/// Errors from trace import/export ([`read_csv`], [`write_csv`],
+/// [`read_json`], [`write_json`]).
 #[derive(Debug)]
-pub enum TraceReadError {
+pub enum TraceIoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// A malformed row, with its 1-based line number and a description.
+    /// A malformed CSV row, with its 1-based line number and a description.
     Parse(usize, String),
+    /// Malformed JSON, with a description.
+    Json(String),
 }
 
-impl std::fmt::Display for TraceReadError {
+impl std::fmt::Display for TraceIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TraceReadError::Io(e) => write!(f, "trace io error: {e}"),
-            TraceReadError::Parse(line, msg) => write!(f, "trace line {line}: {msg}"),
+            TraceIoError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceIoError::Parse(line, msg) => write!(f, "trace line {line}: {msg}"),
+            TraceIoError::Json(msg) => write!(f, "trace json error: {msg}"),
         }
     }
 }
 
-impl std::error::Error for TraceReadError {}
+impl std::error::Error for TraceIoError {}
 
-impl From<std::io::Error> for TraceReadError {
+impl From<std::io::Error> for TraceIoError {
     fn from(e: std::io::Error) -> Self {
-        TraceReadError::Io(e)
+        TraceIoError::Io(e)
     }
 }
 
@@ -70,8 +68,8 @@ impl From<std::io::Error> for TraceReadError {
 /// day count.
 ///
 /// # Errors
-/// Returns [`TraceReadError`] on I/O failure or any malformed row.
-pub fn read_csv<R: Read>(reader: R) -> Result<Trace, TraceReadError> {
+/// Returns [`TraceIoError`] on I/O failure or any malformed row.
+pub fn read_csv<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
     let input = BufReader::new(reader);
     let mut files = Vec::new();
     let mut days: Option<usize> = None;
@@ -79,7 +77,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Trace, TraceReadError> {
         let line = line?;
         if ix == 0 {
             if line.trim() != "id,size_gb,reads,writes" {
-                return Err(TraceReadError::Parse(1, format!("bad header {line:?}")));
+                return Err(TraceIoError::Parse(1, format!("bad header {line:?}")));
             }
             continue;
         }
@@ -89,15 +87,17 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Trace, TraceReadError> {
         let row = ix + 1;
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 4 {
-            return Err(TraceReadError::Parse(row, format!("expected 4 fields, got {}", fields.len())));
+            return Err(TraceIoError::Parse(
+                row,
+                format!("expected 4 fields, got {}", fields.len()),
+            ));
         }
-        let size_gb: f64 = fields[1]
-            .parse()
-            .map_err(|e| TraceReadError::Parse(row, format!("size_gb: {e}")))?;
+        let size_gb: f64 =
+            fields[1].parse().map_err(|e| TraceIoError::Parse(row, format!("size_gb: {e}")))?;
         if !size_gb.is_finite() || size_gb < 0.0 {
-            return Err(TraceReadError::Parse(row, format!("size_gb out of range: {size_gb}")));
+            return Err(TraceIoError::Parse(row, format!("size_gb out of range: {size_gb}")));
         }
-        let parse_series = |field: &str, name: &str| -> Result<Vec<u64>, TraceReadError> {
+        let parse_series = |field: &str, name: &str| -> Result<Vec<u64>, TraceIoError> {
             if field.is_empty() {
                 return Ok(Vec::new());
             }
@@ -105,14 +105,14 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Trace, TraceReadError> {
                 .split(';')
                 .map(|v| {
                     v.parse::<u64>()
-                        .map_err(|e| TraceReadError::Parse(row, format!("{name}: {v:?}: {e}")))
+                        .map_err(|e| TraceIoError::Parse(row, format!("{name}: {v:?}: {e}")))
                 })
                 .collect()
         };
         let reads = parse_series(fields[2], "reads")?;
         let writes = parse_series(fields[3], "writes")?;
         if reads.len() != writes.len() {
-            return Err(TraceReadError::Parse(
+            return Err(TraceIoError::Parse(
                 row,
                 format!("reads ({}) and writes ({}) differ", reads.len(), writes.len()),
             ));
@@ -120,21 +120,39 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Trace, TraceReadError> {
         match days {
             None => days = Some(reads.len()),
             Some(d) if d != reads.len() => {
-                return Err(TraceReadError::Parse(
+                return Err(TraceIoError::Parse(
                     row,
                     format!("series length {} != trace days {d}", reads.len()),
                 ))
             }
             _ => {}
         }
-        files.push(FileSeries {
-            id: FileId(files.len() as u32),
-            size_gb,
-            reads,
-            writes,
-        });
+        files.push(FileSeries { id: FileId(files.len() as u32), size_gb, reads, writes });
     }
     Ok(Trace { days: days.unwrap_or(0), files })
+}
+
+/// Writes `trace` as JSON (the whole [`Trace`] is `serde`).
+///
+/// # Errors
+/// Propagates I/O errors from the writer as [`TraceIoError::Io`].
+pub fn write_json<W: Write>(trace: &Trace, writer: W) -> Result<(), TraceIoError> {
+    let text = serde_json::to_string(trace).map_err(|e| TraceIoError::Json(e.to_string()))?;
+    let mut out = BufWriter::new(writer);
+    out.write_all(text.as_bytes())?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a trace from JSON (as written by [`write_json`]).
+///
+/// # Errors
+/// Returns [`TraceIoError::Io`] on read failure and [`TraceIoError::Json`]
+/// on malformed or mistyped JSON.
+pub fn read_json<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
+    let mut text = String::new();
+    BufReader::new(reader).read_to_string(&mut text)?;
+    serde_json::from_str(&text).map_err(|e| TraceIoError::Json(e.to_string()))
 }
 
 #[cfg(test)]
@@ -198,9 +216,26 @@ mod tests {
     }
 
     #[test]
+    fn json_round_trip_is_exact() {
+        let trace = Trace::generate(&TraceConfig::small(12, 6, 5));
+        let mut buffer = Vec::new();
+        write_json(&trace, &mut buffer).unwrap();
+        let back = read_json(buffer.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        let err = read_json("not json".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Json(_)), "{err}");
+        let err = read_json(r#"{"days": "three"}"#.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Json(_)), "{err}");
+    }
+
+    #[test]
     fn rejects_bad_header() {
         let err = read_csv("wrong,header\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, TraceReadError::Parse(1, _)), "{err}");
+        assert!(matches!(err, TraceIoError::Parse(1, _)), "{err}");
     }
 
     #[test]

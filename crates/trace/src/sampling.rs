@@ -214,8 +214,7 @@ mod tests {
     fn unit_mean_lognormal_calibration() {
         for &cv in &[0.05, 0.2, 0.5, 1.0] {
             let mut r = rng(3);
-            let samples: Vec<f64> =
-                (0..100_000).map(|_| unit_mean_lognormal(&mut r, cv)).collect();
+            let samples: Vec<f64> = (0..100_000).map(|_| unit_mean_lognormal(&mut r, cv)).collect();
             let (mean, sd) = mean_and_sd(&samples);
             assert!((mean - 1.0).abs() < 0.03, "cv={cv} mean {mean}");
             let realized_cv = sd / mean;
@@ -329,11 +328,7 @@ mod tests {
     fn samplers_are_deterministic_given_seed() {
         let draw = |seed| {
             let mut r = rng(seed);
-            (
-                standard_normal(&mut r),
-                poisson(&mut r, 10.0),
-                Zipf::new(10, 1.0).sample(&mut r),
-            )
+            (standard_normal(&mut r), poisson(&mut r, 10.0), Zipf::new(10, 1.0).sample(&mut r))
         };
         assert_eq!(draw(42), draw(42));
     }

@@ -1,0 +1,37 @@
+//! Fixture: `money-safety` violations. Not compiled; scanned by self-tests.
+
+pub struct Money(i64);
+
+impl Money {
+    pub fn as_dollars(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    pub fn from_dollars(d: f64) -> Money {
+        Money((d * 1e6) as i64)
+    }
+}
+
+/// VIOLATION: raw f64 arithmetic on a dollar-named binding.
+pub fn monthly_bill(storage_dollars: f64, egress_dollars: f64) -> f64 {
+    storage_dollars + egress_dollars
+}
+
+/// VIOLATION: arithmetic directly on an `as_dollars()` result.
+pub fn discounted(m: &Money, rate: f64) -> f64 {
+    m.as_dollars() * rate
+}
+
+/// VIOLATION: as_dollars -> from_dollars round-trip loses sub-micro precision.
+pub fn rescale(m: &Money) -> Money {
+    Money::from_dollars(m.as_dollars())
+}
+
+/// Allowed: display-only conversion, no arithmetic.
+pub fn describe(m: &Money) -> String {
+    format!("${}", m.as_dollars())
+}
+
+/// Allowed via escape hatch: a deliberate, documented exception.
+pub fn approx_usd_total(a_usd: f64, b_usd: f64) -> f64 {
+    a_usd + b_usd // xtask-allow: money-safety
+}

@@ -1,0 +1,39 @@
+//! Fixture: `no-panic-in-libs` violations. Not compiled; scanned by self-tests.
+
+/// VIOLATION: `.unwrap()` in library code.
+pub fn first(xs: &[u8]) -> u8 {
+    *xs.first().unwrap()
+}
+
+/// VIOLATION: `.expect(...)` in library code.
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("not a number")
+}
+
+/// VIOLATION: `panic!` in library code.
+pub fn checked(x: i64) -> i64 {
+    if x < 0 {
+        panic!("negative input {x}");
+    }
+    x
+}
+
+/// Allowed: combinators that do not panic.
+pub fn first_or_zero(xs: &[u8]) -> u8 {
+    xs.first().copied().unwrap_or(0)
+}
+
+/// Allowed via escape hatch: documented invariant.
+pub fn tail(xs: &[u8]) -> u8 {
+    // xtask-allow: no-panic-in-libs
+    *xs.last().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Allowed: panics in test code are fine.
+    #[test]
+    fn test_can_unwrap() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: `seeded-rng-only` violations. Not compiled; scanned by self-tests.
+
+/// VIOLATION: thread-local entropy-seeded RNG.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.random()
+}
+
+/// VIOLATION: bare `rand::rng()` entry point.
+pub fn coin_flip() -> bool {
+    rand::rng().random_bool(0.5)
+}
+
+/// VIOLATION: entropy-based construction.
+pub fn fresh() -> StdRng {
+    StdRng::from_entropy()
+}
+
+/// Allowed: explicitly seeded, reproducible.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Allowed: entropy in test code is fine (though still discouraged).
+    #[test]
+    fn test_entropy_ok() {
+        let _ = rand::thread_rng();
+    }
+}

@@ -1,0 +1,43 @@
+//! Fixture: `lock-discipline` violations. Not compiled; scanned by self-tests.
+
+/// VIOLATION: guard held across a scoped spawn — workers serialize on it.
+pub fn broadcast(state: &Mutex<Vec<u64>>, n: usize) {
+    let snapshot = state.lock();
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            s.spawn(|| consume(&snapshot));
+        }
+    });
+}
+
+/// VIOLATION: guard held across a long training loop.
+pub fn train_holding_lock(params: &Mutex<Vec<f64>>, steps: usize) {
+    let mut guard = params.lock();
+    for step in 0..steps {
+        let g1 = gradient(step);
+        let g2 = clip(g1);
+        let g3 = momentum(g2);
+        apply(&mut guard, g3);
+        record(step);
+        checkpoint(step);
+        trace(step);
+    }
+}
+
+/// Allowed: lock scoped tightly around the mutation.
+pub fn train_scoped(params: &Mutex<Vec<f64>>, steps: usize) {
+    for step in 0..steps {
+        let g = gradient(step);
+        params.lock().push(g);
+    }
+}
+
+/// Allowed: guard explicitly dropped before spawning.
+pub fn snapshot_then_spawn(state: &Mutex<Vec<u64>>) {
+    let guard = state.lock();
+    let copy = guard.clone();
+    drop(guard);
+    std::thread::scope(|s| {
+        s.spawn(move || consume_owned(copy));
+    });
+}

@@ -1,0 +1,91 @@
+//! Self-tests: each committed fixture must trip its lint with `file:line`
+//! diagnostics, and the escape hatch must suppress exactly the marked lines.
+
+use crate::lints::{scan_source, FileContext, Lint, Violation};
+use std::path::PathBuf;
+
+fn scan_fixture(name: &str) -> Vec<Violation> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    let ctx = FileContext::from_path(&path);
+    scan_source(&path, &src, &ctx)
+}
+
+#[test]
+fn l1_fixture_trips_money_safety() {
+    let v = scan_fixture("l1_money.rs");
+    assert!(!v.is_empty(), "fixture must fail the lint");
+    assert!(v.iter().all(|v| v.lint == Lint::MoneySafety), "{v:?}");
+    // Raw arithmetic on dollar bindings, arithmetic on as_dollars(), and the
+    // round-trip are all caught; the escape-hatch line is not.
+    assert!(v.iter().any(|v| v.message.contains("storage_dollars")), "{v:?}");
+    assert!(v.iter().any(|v| v.message.contains("round-trip")), "{v:?}");
+    assert!(v.len() >= 3, "{v:?}");
+}
+
+#[test]
+fn l2_fixture_trips_no_panic() {
+    let v = scan_fixture("l2_panic.rs");
+    assert!(v.iter().all(|v| v.lint == Lint::NoPanicInLibs), "{v:?}");
+    // unwrap, expect, panic! each caught once; the allowed `tail` and the
+    // `#[cfg(test)]` module are not.
+    assert_eq!(v.len(), 3, "{v:?}");
+}
+
+#[test]
+fn l3_fixture_trips_seeded_rng_only() {
+    let v = scan_fixture("l3_rng.rs");
+    assert!(v.iter().all(|v| v.lint == Lint::SeededRngOnly), "{v:?}");
+    // thread_rng, rand::rng(), from_entropy; test-module entropy is exempt.
+    assert_eq!(v.len(), 3, "{v:?}");
+}
+
+#[test]
+fn l4_fixture_trips_lock_discipline() {
+    let v = scan_fixture("l4_lock.rs");
+    assert!(v.iter().all(|v| v.lint == Lint::LockDiscipline), "{v:?}");
+    // Guard across spawn + guard across long loop; scoped/dropped guards pass.
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v.iter().any(|v| v.message.contains("scope")), "{v:?}");
+    assert!(v.iter().any(|v| v.message.contains("loop")), "{v:?}");
+}
+
+#[test]
+fn diagnostics_carry_file_and_line() {
+    for v in scan_fixture("l2_panic.rs") {
+        assert!(v.line > 0);
+        assert!(v.file.ends_with("l2_panic.rs"));
+        let rendered = v.to_string();
+        assert!(
+            rendered.contains(&format!("l2_panic.rs:{}", v.line)),
+            "diagnostic must be file:line formatted: {rendered}"
+        );
+    }
+}
+
+#[test]
+fn fixtures_fail_through_the_cli_entry_point() {
+    // The same code path `cargo xtask lint crates/xtask/fixtures` uses must
+    // report a nonzero violation count over the fixture directory.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let n = crate::lint_paths(&[dir]).expect("fixtures dir must be readable");
+    assert!(n >= 4 + 3 + 3 + 2 - 4, "all four fixtures must report violations, got {n}");
+}
+
+#[test]
+fn workspace_tree_is_clean() {
+    // The gate this tool enforces: the real workspace must stay lint-clean.
+    let files = crate::walk::workspace_lint_files(&crate::walk::repo_root()).expect("walk");
+    let mut violations = Vec::new();
+    for file in files {
+        let src = std::fs::read_to_string(&file).expect("read");
+        let ctx = FileContext::from_path(&file);
+        violations.extend(scan_source(&file, &src, &ctx));
+    }
+    assert!(
+        violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

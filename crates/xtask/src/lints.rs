@@ -1,0 +1,674 @@
+//! The four MiniCost-specific lints.
+//!
+//! Each lint walks the token stream from [`crate::lexer::lex`] with brace-depth
+//! and `#[cfg(test)]`-region tracking. Violations carry `file:line` positions
+//! and can be suppressed with `// xtask-allow: <lint>` on the offending line or
+//! the line above.
+
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+use std::fmt;
+use std::path::Path;
+
+/// The lint that produced a violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lint {
+    /// L1: raw f64 arithmetic on dollar quantities outside `crates/pricing`.
+    MoneySafety,
+    /// L2: `unwrap`/`expect`/`panic!` in library-crate non-test code.
+    NoPanicInLibs,
+    /// L3: entropy-seeded RNG construction outside test code.
+    SeededRngOnly,
+    /// L4: mutex guards held across spawns or long loops.
+    LockDiscipline,
+}
+
+impl Lint {
+    /// The name used in diagnostics and `xtask-allow` comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::MoneySafety => "money-safety",
+            Lint::NoPanicInLibs => "no-panic-in-libs",
+            Lint::SeededRngOnly => "seeded-rng-only",
+            Lint::LockDiscipline => "lock-discipline",
+        }
+    }
+
+    /// All lints, in diagnostic order.
+    pub fn all() -> [Lint; 4] {
+        [Lint::MoneySafety, Lint::NoPanicInLibs, Lint::SeededRngOnly, Lint::LockDiscipline]
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding at a source position.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Path as given to the scanner.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.lint, self.message)
+    }
+}
+
+/// What part of the workspace a file belongs to, for lint scoping.
+#[derive(Clone, Debug)]
+pub struct FileContext {
+    /// Crate directory name (`pricing`, `rl`, ...; `fixture` for fixtures).
+    pub crate_name: String,
+    /// True for `src/bin/` targets (CLI code, exempt from L2).
+    pub is_bin: bool,
+}
+
+impl FileContext {
+    /// Derives the context from a repo-relative path like
+    /// `crates/rl/src/a3c.rs`.
+    pub fn from_path(path: &Path) -> FileContext {
+        let comps: Vec<&str> = path.iter().map(|c| c.to_str().unwrap_or_default()).collect();
+        let crate_name = if comps.contains(&"fixtures") {
+            // Lint fixtures exercise every lint regardless of location.
+            "fixture".to_string()
+        } else {
+            comps
+                .iter()
+                .position(|&c| c == "crates")
+                .and_then(|i| comps.get(i + 1))
+                .map_or_else(|| "fixture".to_string(), |s| (*s).to_string())
+        };
+        let is_bin = comps.windows(2).any(|w| w == ["src", "bin"]);
+        FileContext { crate_name, is_bin }
+    }
+
+    fn lint_applies(&self, lint: Lint) -> bool {
+        const LIB_CRATES: [&str; 6] = ["pricing", "trace", "forecast", "nn", "rl", "core"];
+        match lint {
+            // Pricing owns dollar<->micro conversion; bench code is exempt.
+            Lint::MoneySafety => self.crate_name != "pricing" && self.crate_name != "bench",
+            Lint::NoPanicInLibs => {
+                LIB_CRATES.contains(&self.crate_name.as_str()) && !self.is_bin
+                    || self.crate_name == "fixture"
+            }
+            Lint::SeededRngOnly => true,
+            Lint::LockDiscipline => {
+                matches!(self.crate_name.as_str(), "rl" | "core" | "fixture")
+            }
+        }
+    }
+}
+
+/// A loop body spanning at least this many lines counts as "long" for L4.
+const LONG_LOOP_LINES: usize = 8;
+
+/// Runs every applicable lint over one file's source.
+pub fn scan_source(path: &Path, src: &str, ctx: &FileContext) -> Vec<Violation> {
+    let lexed = lex(src);
+    let marks = mark_regions(&lexed.toks);
+    let mut out = Vec::new();
+    for lint in Lint::all() {
+        if !ctx.lint_applies(lint) {
+            continue;
+        }
+        let raw = match lint {
+            Lint::MoneySafety => lint_money_safety(&lexed.toks, &marks),
+            Lint::NoPanicInLibs => lint_no_panic(&lexed.toks, &marks),
+            Lint::SeededRngOnly => lint_seeded_rng(&lexed.toks, &marks),
+            Lint::LockDiscipline => lint_lock_discipline(&lexed.toks, &marks),
+        };
+        for (line, message) in raw {
+            if allowed(&lexed, lint, line) {
+                continue;
+            }
+            out.push(Violation { lint, file: path.display().to_string(), line, message });
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// True if an `xtask-allow` comment covers `lint` at `line` (same line or the
+/// line directly above).
+fn allowed(lexed: &Lexed, lint: Lint, line: usize) -> bool {
+    lexed.allows.iter().any(|a| {
+        (a.line == line || a.line + 1 == line)
+            && a.lints.iter().any(|l| l == lint.name() || l == "all")
+    })
+}
+
+/// Per-token context: brace depth and whether the token is inside test code.
+struct Marks {
+    depth: Vec<usize>,
+    in_test: Vec<bool>,
+}
+
+/// Computes brace depth and `#[cfg(test)]` / `#[test]` regions per token.
+fn mark_regions(toks: &[Tok]) -> Marks {
+    let mut depth = 0usize;
+    let mut depths = Vec::with_capacity(toks.len());
+    let mut in_test = Vec::with_capacity(toks.len());
+    // Depths at which a test-scoped `{` was opened.
+    let mut test_stack: Vec<usize> = Vec::new();
+    // An attribute mentioning `test` was seen; the next `{` (before any `;`
+    // at attribute depth) opens a test region.
+    let mut pending_test_attr = false;
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        depths.push(depth);
+        in_test.push(!test_stack.is_empty());
+        match &t.kind {
+            TokKind::Punct(p) => match p.as_str() {
+                "{" => {
+                    if pending_test_attr {
+                        test_stack.push(depth);
+                        pending_test_attr = false;
+                    }
+                    depth += 1;
+                }
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if test_stack.last() == Some(&depth) {
+                        test_stack.pop();
+                    }
+                }
+                ";" => pending_test_attr = false,
+                "#" if toks.get(i + 1).is_some_and(|t| t.kind.is_punct("[")) => {
+                    // Scan the attribute's bracket group for `test`.
+                    let mut j = i + 1;
+                    let mut bracket = 0usize;
+                    let mut has_test = false;
+                    while let Some(tok) = toks.get(j) {
+                        match &tok.kind {
+                            TokKind::Punct(q) if q == "[" => bracket += 1,
+                            TokKind::Punct(q) if q == "]" => {
+                                bracket -= 1;
+                                if bracket == 0 {
+                                    break;
+                                }
+                            }
+                            TokKind::Ident(id) if id == "test" => has_test = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if has_test {
+                        pending_test_attr = true;
+                    }
+                    // Re-push marks for skipped attribute tokens.
+                    for _ in i + 1..=j.min(toks.len().saturating_sub(1)) {
+                        depths.push(depth);
+                        in_test.push(!test_stack.is_empty());
+                    }
+                    i = j;
+                }
+                _ => {}
+            },
+            TokKind::Ident(_) | TokKind::Num | TokKind::Lit => {}
+        }
+        i += 1;
+    }
+    Marks { depth: depths, in_test }
+}
+
+fn is_arith(kind: &TokKind) -> bool {
+    matches!(kind, TokKind::Punct(p)
+        if matches!(p.as_str(), "+" | "-" | "*" | "/" | "+=" | "-=" | "*=" | "/="))
+}
+
+fn is_value_end(kind: &TokKind) -> bool {
+    matches!(kind, TokKind::Ident(_) | TokKind::Num)
+        || matches!(kind, TokKind::Punct(p) if p == ")" || p == "]")
+}
+
+/// Skips a balanced paren group starting at `toks[i]` (which must be `(`);
+/// returns the index just past the matching `)`.
+fn skip_parens(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while let Some(t) = toks.get(j) {
+        if t.kind.is_punct("(") {
+            depth += 1;
+        } else if t.kind.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+fn is_dollar_ident(id: &str) -> bool {
+    let lower = id.to_ascii_lowercase();
+    lower.contains("dollar") || lower.contains("usd")
+}
+
+/// L1: flags raw float arithmetic on dollar-named values and
+/// `as_dollars` -> `from_dollars` round-trips outside `crates/pricing`.
+fn lint_money_safety(toks: &[Tok], marks: &Marks) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if marks.in_test[i] {
+            continue;
+        }
+        let Some(id) = t.kind.ident() else { continue };
+        if !is_dollar_ident(id) {
+            continue;
+        }
+        // `dollars + x`, `x * cost_usd`, `m.as_dollars() / n`, ...
+        // `from_dollars(..)` is exempt from the call-result rule: it returns
+        // `Money`, so arithmetic on its result is Money arithmetic.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.kind.is_punct("(")) {
+            if id == "from_dollars" {
+                j = usize::MAX;
+            } else {
+                j = skip_parens(toks, j);
+            }
+        }
+        let after_op = toks.get(j).is_some_and(|t| is_arith(&t.kind));
+        let before_op = i >= 2 && is_arith(&toks[i - 1].kind) && is_value_end(&toks[i - 2].kind);
+        if after_op || before_op {
+            out.push((
+                t.line,
+                format!(
+                    "raw f64 arithmetic on dollar value `{id}`; do the math in \
+                     `Money` micros (crates/pricing) instead"
+                ),
+            ));
+        }
+        // `Money::from_dollars(x.as_dollars() * k)` style round-trips: both
+        // conversions inside one statement.
+        if id == "from_dollars" {
+            let stmt_end =
+                toks[i..].iter().position(|t| t.kind.is_punct(";")).map_or(toks.len(), |p| i + p);
+            let stmt_start = toks[..i]
+                .iter()
+                .rposition(|t| t.kind.is_punct(";") || t.kind.is_punct("{") || t.kind.is_punct("}"))
+                .map_or(0, |p| p + 1);
+            if toks[stmt_start..stmt_end].iter().any(|t| t.kind.ident() == Some("as_dollars")) {
+                out.push((
+                    t.line,
+                    "as_dollars()->from_dollars round-trip loses sub-micro precision; \
+                     stay in Money micros"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// L2: flags `.unwrap()`, `.expect(...)`, and `panic!` in non-test code.
+fn lint_no_panic(toks: &[Tok], marks: &Marks) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if marks.in_test[i] {
+            continue;
+        }
+        let Some(id) = t.kind.ident() else { continue };
+        match id {
+            "unwrap" | "expect" => {
+                let method_call = i >= 1
+                    && toks[i - 1].kind.is_punct(".")
+                    && toks.get(i + 1).is_some_and(|t| t.kind.is_punct("("));
+                if method_call {
+                    out.push((
+                        t.line,
+                        format!("`.{id}()` in library code; return a Result or restructure"),
+                    ));
+                }
+            }
+            "panic" if toks.get(i + 1).is_some_and(|t| t.kind.is_punct("!")) => {
+                out.push((
+                    t.line,
+                    "`panic!` in library code; return a Result or restructure".to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// L3: flags entropy-seeded RNG construction outside test code.
+fn lint_seeded_rng(toks: &[Tok], marks: &Marks) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if marks.in_test[i] {
+            continue;
+        }
+        let Some(id) = t.kind.ident() else { continue };
+        let flagged = match id {
+            "thread_rng" | "from_entropy" | "from_os_rng" | "OsRng" => true,
+            // Bare `rand::rng()`.
+            "rng" => {
+                i >= 2
+                    && toks[i - 1].kind.is_punct("::")
+                    && toks[i - 2].kind.ident() == Some("rand")
+                    && toks.get(i + 1).is_some_and(|t| t.kind.is_punct("("))
+            }
+            _ => false,
+        };
+        if flagged {
+            out.push((
+                t.line,
+                format!(
+                    "entropy-seeded RNG `{id}` breaks reproducibility; use \
+                     `StdRng::seed_from_u64` with a config-derived seed"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// An active mutex guard being tracked by L4.
+struct Guard {
+    name: String,
+    line: usize,
+    depth: usize,
+}
+
+/// L4: flags `let g = x.lock()` guards that stay live across a `spawn`/
+/// `thread::scope` call or a loop body of [`LONG_LOOP_LINES`]+ lines.
+fn lint_lock_discipline(toks: &[Tok], marks: &Marks) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if marks.in_test[i] {
+            i += 1;
+            continue;
+        }
+        // Close guards whose scope ended.
+        guards.retain(|g| marks.depth[i] >= g.depth);
+        match t.kind.ident() {
+            Some("let") => {
+                // Skip `if let` / `while let` (pattern scrutinees, not guards).
+                let after_branch_kw =
+                    i >= 1 && matches!(toks[i - 1].kind.ident(), Some("if" | "while"));
+                if !after_branch_kw {
+                    if let Some(g) = parse_guard_binding(toks, i, marks.depth[i]) {
+                        guards.push(g);
+                        // Jump past the binding statement so `.lock()` inside
+                        // it is not re-examined.
+                        while i < toks.len() && !toks[i].kind.is_punct(";") {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            Some("drop") if toks.get(i + 1).is_some_and(|t| t.kind.is_punct("(")) => {
+                if let Some(TokKind::Ident(name)) = toks.get(i + 2).map(|t| &t.kind) {
+                    guards.retain(|g| &g.name != name);
+                }
+            }
+            Some("spawn" | "scope") if !guards.is_empty() => {
+                let is_call = toks.get(i + 1).is_some_and(|t| t.kind.is_punct("("));
+                if is_call {
+                    for g in &guards {
+                        out.push((
+                            t.line,
+                            format!(
+                                "mutex guard `{}` (acquired line {}) is held across \
+                                 `{}`; scope the lock or clone the data first",
+                                g.name,
+                                g.line,
+                                t.kind.ident().unwrap_or_default(),
+                            ),
+                        ));
+                    }
+                    guards.clear(); // one report per guard
+                }
+            }
+            Some("for" | "while" | "loop") if !guards.is_empty() => {
+                if let Some(span) = loop_body_line_span(toks, i) {
+                    if span >= LONG_LOOP_LINES {
+                        for g in &guards {
+                            out.push((
+                                t.line,
+                                format!(
+                                    "mutex guard `{}` (acquired line {}) is held across a \
+                                     {span}-line loop; narrow the critical section",
+                                    g.name, g.line,
+                                ),
+                            ));
+                        }
+                        guards.clear();
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses `let [mut] NAME ... = ... .lock() ... ;` starting at the `let`.
+fn parse_guard_binding(toks: &[Tok], let_idx: usize, depth: usize) -> Option<Guard> {
+    let mut j = let_idx + 1;
+    if toks.get(j)?.kind.ident() == Some("mut") {
+        j += 1;
+    }
+    let name = toks.get(j)?.kind.ident()?.to_string();
+    // Scan the statement for `.lock()`.
+    let mut k = j;
+    while let Some(t) = toks.get(k) {
+        if t.kind.is_punct(";") {
+            return None;
+        }
+        if t.kind.ident() == Some("lock")
+            && k >= 1
+            && toks[k - 1].kind.is_punct(".")
+            && toks.get(k + 1).is_some_and(|t| t.kind.is_punct("("))
+        {
+            return Some(Guard { name, line: toks[let_idx].line, depth });
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Line span of the loop body block following the loop keyword at `kw_idx`.
+fn loop_body_line_span(toks: &[Tok], kw_idx: usize) -> Option<usize> {
+    // Find the body `{`: the first `{` after the keyword at paren depth 0.
+    let mut j = kw_idx + 1;
+    let mut paren = 0usize;
+    let open = loop {
+        let t = toks.get(j)?;
+        match &t.kind {
+            TokKind::Punct(p) if p == "(" || p == "[" => paren += 1,
+            TokKind::Punct(p) if p == ")" || p == "]" => paren = paren.saturating_sub(1),
+            TokKind::Punct(p) if p == "{" && paren == 0 => break j,
+            TokKind::Punct(p) if p == ";" => return None,
+            _ => {}
+        }
+        j += 1;
+    };
+    let mut brace = 0usize;
+    let mut k = open;
+    while let Some(t) = toks.get(k) {
+        if t.kind.is_punct("{") {
+            brace += 1;
+        } else if t.kind.is_punct("}") {
+            brace -= 1;
+            if brace == 0 {
+                return Some(toks[k].line - toks[open].line + 1);
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scan(src: &str, crate_name: &str) -> Vec<Violation> {
+        let ctx = FileContext { crate_name: crate_name.to_string(), is_bin: false };
+        scan_source(&PathBuf::from("mem.rs"), src, &ctx)
+    }
+
+    #[test]
+    fn l1_flags_dollar_arithmetic_outside_pricing() {
+        let src = "fn f(total_dollars: f64, rate: f64) -> f64 { total_dollars * rate }";
+        let v = scan(src, "core");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].lint, Lint::MoneySafety);
+    }
+
+    #[test]
+    fn l1_is_silent_inside_pricing() {
+        let src = "fn f(d: f64) -> f64 { let dollars = d; dollars * 2.0 }";
+        assert!(scan(src, "pricing").is_empty());
+    }
+
+    #[test]
+    fn l1_flags_round_trip() {
+        let src = "fn f(m: Money) -> Money { Money::from_dollars(m.as_dollars()) }";
+        let v = scan(src, "core");
+        assert!(v.iter().any(|v| v.message.contains("round-trip")), "{v:?}");
+    }
+
+    #[test]
+    fn l2_flags_unwrap_outside_tests() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        let v = scan(src, "rl");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, Lint::NoPanicInLibs);
+    }
+
+    #[test]
+    fn l2_ignores_test_modules() {
+        let src = r"
+            fn ok() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); panic!(); }
+            }
+        ";
+        assert!(scan(src, "rl").is_empty());
+    }
+
+    #[test]
+    fn l2_not_fooled_by_unwrap_or() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }";
+        assert!(scan(src, "rl").is_empty());
+    }
+
+    #[test]
+    fn l3_flags_thread_rng() {
+        let src = "fn f() -> f64 { let mut r = thread_rng(); r.random() }";
+        let v = scan(src, "trace");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, Lint::SeededRngOnly);
+    }
+
+    #[test]
+    fn l3_flags_rand_rng_call() {
+        let src = "fn f() -> f64 { rand::rng().random() }";
+        let v = scan(src, "trace");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn l3_allows_seeded_construction() {
+        let src = "fn f() { let _ = StdRng::seed_from_u64(7); }";
+        assert!(scan(src, "trace").is_empty());
+    }
+
+    #[test]
+    fn l4_flags_guard_across_spawn() {
+        let src = r"
+            fn f(m: &Mutex<u8>) {
+                let g = m.lock();
+                std::thread::scope(|s| { s.spawn(|| work(&g)); });
+            }
+        ";
+        let v = scan(src, "rl");
+        assert!(!v.is_empty());
+        assert_eq!(v[0].lint, Lint::LockDiscipline);
+    }
+
+    #[test]
+    fn l4_ignores_short_critical_sections() {
+        let src = r"
+            fn f(m: &Mutex<Vec<u8>>) {
+                let mut g = m.lock();
+                g.push(1);
+            }
+        ";
+        assert!(scan(src, "rl").is_empty());
+    }
+
+    #[test]
+    fn l4_flags_guard_across_long_loop() {
+        let src = r"
+            fn f(m: &Mutex<u8>) {
+                let g = m.lock();
+                for i in 0..10 {
+                    a();
+                    b();
+                    c();
+                    d();
+                    e();
+                    h();
+                    j();
+                }
+                use_it(&g);
+            }
+        ";
+        let v = scan(src, "core");
+        assert!(v.iter().any(|v| v.message.contains("loop")), "{v:?}");
+    }
+
+    #[test]
+    fn l4_respects_drop() {
+        let src = r"
+            fn f(m: &Mutex<u8>) {
+                let g = m.lock();
+                drop(g);
+                std::thread::scope(|s| { s.spawn(work); });
+            }
+        ";
+        assert!(scan(src, "rl").is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_line() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // xtask-allow: no-panic-in-libs";
+        assert!(scan(src, "rl").is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_next_line() {
+        let src = "// xtask-allow: seeded-rng-only\nfn f() { let _ = thread_rng(); }";
+        assert!(scan(src, "trace").is_empty());
+    }
+
+    #[test]
+    fn allow_for_other_lint_does_not_suppress() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // xtask-allow: money-safety";
+        assert_eq!(scan(src, "rl").len(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! `cargo xtask` — the workspace static-analysis gate.
+//!
+//! `cargo xtask check` runs, in order:
+//! 1. the four custom MiniCost lints (`money-safety`, `no-panic-in-libs`,
+//!    `seeded-rng-only`, `lock-discipline`) over every `crates/*/src` tree,
+//! 2. `cargo fmt --check` over the workspace crates,
+//! 3. `cargo clippy --all-targets -- -D warnings` over the workspace crates.
+//!
+//! `cargo xtask lint <path>...` runs only the custom lints over the given
+//! files or directories (used by the fixture self-tests and for spot checks).
+//!
+//! Any violation or failed gate exits nonzero with `file:line` diagnostics.
+
+mod lexer;
+mod lints;
+mod walk;
+
+#[cfg(test)]
+mod fixture_tests;
+
+use lints::{scan_source, FileContext, Violation};
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+/// First-party packages the fmt/clippy gates cover (vendored offline stubs
+/// under `vendor/` are excluded: they are frozen API shims, not product code).
+const GATED_PACKAGES: [&str; 8] = [
+    "minicost-pricing",
+    "minicost-trace",
+    "minicost-forecast",
+    "minicost-nn",
+    "minicost-rl",
+    "minicost-core",
+    "minicost-bench",
+    "xtask",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => ("check", &[][..]),
+    };
+    match cmd {
+        "check" => cmd_check(),
+        "lint" => cmd_lint(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown xtask command `{other}`\n");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cargo xtask <command>\n\n\
+         commands:\n  \
+         check            run custom lints + `cargo fmt --check` + clippy gate\n  \
+         lint <path>...   run only the custom lints over the given paths\n  \
+         help             show this message"
+    );
+}
+
+/// Lints the given files/directories and prints violations. Returns how many,
+/// or `None` if a path could not be read (already reported to stderr).
+fn lint_paths(paths: &[PathBuf]) -> Option<usize> {
+    let mut violations: Vec<Violation> = Vec::new();
+    for path in paths {
+        let files = match walk::rust_files(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", path.display());
+                return None;
+            }
+        };
+        for file in files {
+            let src = match std::fs::read_to_string(&file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", file.display());
+                    return None;
+                }
+            };
+            let ctx = FileContext::from_path(&file);
+            violations.extend(scan_source(&file, &src, &ctx));
+        }
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    Some(violations.len())
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("error: `cargo xtask lint` needs at least one path");
+        return ExitCode::FAILURE;
+    }
+    let paths: Vec<PathBuf> = args.iter().map(PathBuf::from).collect();
+    match lint_paths(&paths) {
+        Some(0) => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Some(n) => {
+            eprintln!("xtask lint: {n} violation(s)");
+            ExitCode::FAILURE
+        }
+        None => ExitCode::FAILURE,
+    }
+}
+
+fn cmd_check() -> ExitCode {
+    let root = walk::repo_root();
+    let mut failed = false;
+
+    // 1. Custom lints.
+    println!("==> custom lints (money-safety, no-panic-in-libs, seeded-rng-only, lock-discipline)");
+    let files = match walk::workspace_lint_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: cannot enumerate workspace sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match lint_paths(&files) {
+        Some(0) => println!("==> custom lints passed ({} files)", files.len()),
+        Some(n) => {
+            eprintln!("==> custom lints FAILED: {n} violation(s)");
+            failed = true;
+        }
+        None => {
+            eprintln!("==> custom lints FAILED: unreadable source file");
+            failed = true;
+        }
+    }
+
+    // 2. rustfmt gate.
+    println!("==> cargo fmt --check");
+    if !run_cargo(&root, &fmt_args()) {
+        eprintln!("==> rustfmt gate FAILED (run `cargo fmt` to fix)");
+        failed = true;
+    }
+
+    // 3. clippy gate, deny warnings.
+    println!("==> cargo clippy --all-targets -- -D warnings");
+    if !run_cargo(&root, &clippy_args()) {
+        eprintln!("==> clippy gate FAILED");
+        failed = true;
+    }
+
+    if failed {
+        eprintln!("xtask check: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("xtask check: all gates passed");
+        ExitCode::SUCCESS
+    }
+}
+
+fn fmt_args() -> Vec<String> {
+    let mut args = vec!["fmt".to_string(), "--check".to_string()];
+    for p in GATED_PACKAGES {
+        args.push("-p".to_string());
+        args.push(p.to_string());
+    }
+    args
+}
+
+fn clippy_args() -> Vec<String> {
+    let mut args = vec!["clippy".to_string()];
+    for p in GATED_PACKAGES {
+        args.push("-p".to_string());
+        args.push(p.to_string());
+    }
+    args.extend([
+        "--all-targets".to_string(),
+        "--".to_string(),
+        "-D".to_string(),
+        "warnings".to_string(),
+    ]);
+    args
+}
+
+fn run_cargo(root: &Path, args: &[String]) -> bool {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    match Command::new(cargo).args(args).current_dir(root).status() {
+        Ok(status) => status.success(),
+        Err(e) => {
+            eprintln!("error: failed to spawn cargo {}: {e}", args.join(" "));
+            false
+        }
+    }
+}

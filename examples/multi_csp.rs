@@ -53,15 +53,11 @@ fn main() {
     println!("{:<28} {:>14} {:>14}", "plan \\ billed under", "azure", "s3-like");
     for (plan_name, schedule_model) in [("azure-optimal plan", &azure), ("s3-optimal plan", &aws)] {
         let schedule = optimal_schedule(&trace, schedule_model, &sim_cfg);
-        let under_azure = simulate(
-            &trace,
-            &azure,
-            &mut ReplayPolicy { schedule: schedule.clone() },
-            &sim_cfg,
-        )
-        .total_cost();
-        let under_aws = simulate(&trace, &aws, &mut ReplayPolicy { schedule }, &sim_cfg)
-            .total_cost();
+        let under_azure =
+            simulate(&trace, &azure, &mut ReplayPolicy { schedule: schedule.clone() }, &sim_cfg)
+                .total_cost();
+        let under_aws =
+            simulate(&trace, &aws, &mut ReplayPolicy { schedule }, &sim_cfg).total_cost();
         println!("{plan_name:<28} {under_azure:>14} {under_aws:>14}");
     }
 

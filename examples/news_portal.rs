@@ -29,14 +29,8 @@ fn main() {
     let model = CostModel::new(PricingPolicy::paper_2020());
 
     // Pages: groups of 2-5 assets sharing most of their requests.
-    let groups = CoRequestModel {
-        groups: 120,
-        min_size: 2,
-        max_size: 5,
-        level: 0.9,
-        seed: 5,
-    }
-    .generate(&trace);
+    let groups = CoRequestModel { groups: 120, min_size: 2, max_size: 5, level: 0.9, seed: 5 }
+        .generate(&trace);
     println!("{} files, {} co-request bundles", trace.len(), groups.len());
 
     let sim_cfg = SimConfig::default();
@@ -61,13 +55,10 @@ fn main() {
                 .collect();
             planner.evaluate(&omegas)
         };
-        let week_trace = apply_aggregation(&trace, &groups, &active).day_window(week * 7..(week + 1) * 7);
+        let week_trace =
+            apply_aggregation(&trace, &groups, &active).day_window(week * 7..(week + 1) * 7);
         let run = simulate(&week_trace, &model, &mut GreedyPolicy, &sim_cfg);
-        println!(
-            "week {week}: {} bundles active, cost {}",
-            active.len(),
-            run.total_cost()
-        );
+        println!("week {week}: {} bundles active, cost {}", active.len(), run.total_cost());
         enhanced_total += run.total_cost();
     }
 

@@ -42,10 +42,7 @@ fn main() {
     let opt = simulate(&trace, &model, &mut opt_policy, &sim_cfg);
 
     println!("\nper-bucket 4-week cost (the Fig. 8 view):");
-    println!(
-        "{:>8} {:>14} {:>14} {:>14}",
-        "bucket", "hot", "greedy", "optimal"
-    );
+    println!("{:>8} {:>14} {:>14} {:>14}", "bucket", "hot", "greedy", "optimal");
     let hot_b = bucket_costs(&trace, &hot.per_file);
     let greedy_b = bucket_costs(&trace, &greedy.per_file);
     let opt_b = bucket_costs(&trace, &opt.per_file);

@@ -46,31 +46,20 @@ fn aggregation_never_hurts_when_planner_is_selective() {
     // the plain trace under the same (optimal) tiering, measured on the
     // same evaluation window the Ω values were computed from.
     let (trace, model) = setup();
-    let groups = CoRequestModel {
-        groups: 30,
-        level: 0.9,
-        seed: 8,
-        ..Default::default()
-    }
-    .generate(&trace);
+    let groups =
+        CoRequestModel { groups: 30, level: 0.9, seed: 8, ..Default::default() }.generate(&trace);
 
     let omegas: Vec<Omega> = groups
         .iter()
         .map(|g| Omega::evaluate(g, &trace, &model, Tier::Hot, 0..trace.days))
         .collect();
     // Select only clearly-beneficial groups.
-    let active: Vec<usize> = (0..groups.len())
-        .filter(|&i| omegas[i].0 > 1000.0)
-        .collect();
+    let active: Vec<usize> = (0..groups.len()).filter(|&i| omegas[i].0 > 1000.0).collect();
 
     let cfg = SimConfig::default();
-    let plain = simulate(
-        &trace,
-        &model,
-        &mut OptimalPolicy::plan(&trace, &model, cfg.initial_tier),
-        &cfg,
-    )
-    .total_cost();
+    let plain =
+        simulate(&trace, &model, &mut OptimalPolicy::plan(&trace, &model, cfg.initial_tier), &cfg)
+            .total_cost();
     let merged = apply_aggregation(&trace, &groups, &active);
     let aggregated = simulate(
         &merged,
@@ -119,10 +108,7 @@ fn planner_lifecycle_across_shifting_omegas() {
         "group 0 keeps one grace week"
     );
     // Week 3: group 0 still negative — evicted.
-    assert_eq!(
-        planner.evaluate(&[Omega(-2.0), Omega(4.0), Omega(6.0)]),
-        vec![1, 2]
-    );
+    assert_eq!(planner.evaluate(&[Omega(-2.0), Omega(4.0), Omega(6.0)]), vec![1, 2]);
 }
 
 #[test]

@@ -74,10 +74,7 @@ fn environment_and_policy_agree_on_features() {
     let env = TieringEnv::new(
         Arc::new(trace),
         Arc::new(model),
-        TieringEnvConfig {
-            features: cfg.features,
-            ..Default::default()
-        },
+        TieringEnvConfig { features: cfg.features, ..Default::default() },
     );
     assert_eq!(env.state_dim(), cfg.net_spec().state_dim());
     assert_eq!(env.n_actions(), cfg.net_spec().actions);
@@ -89,12 +86,8 @@ fn forecast_feeds_trace_analysis() {
     use forecast::{Arima, ErrorSummary, Forecaster};
     use tracegen::analysis::bucket_members;
 
-    let trace = Trace::generate(&TraceConfig {
-        files: 80,
-        days: 28,
-        seed: 5,
-        ..TraceConfig::default()
-    });
+    let trace =
+        Trace::generate(&TraceConfig { files: 80, days: 28, seed: 5, ..TraceConfig::default() });
     let members = bucket_members(&trace);
     let horizon = 7;
     let model = Arima::weekly_default();
@@ -104,10 +97,8 @@ fn forecast_feeds_trace_analysis() {
         let mut errors = Vec::new();
         for &ix in bucket {
             let file = &trace.files[ix];
-            let history: Vec<f64> =
-                file.reads[..21].iter().map(|&r| r as f64).collect();
-            let truth: Vec<f64> =
-                file.reads[21..28].iter().map(|&r| r as f64).collect();
+            let history: Vec<f64> = file.reads[..21].iter().map(|&r| r as f64).collect();
+            let truth: Vec<f64> = file.reads[21..28].iter().map(|&r| r as f64).collect();
             let pred = model.forecast(&history, horizon);
             errors.extend(forecast::error::forecast_errors(&truth, &pred));
         }

@@ -11,12 +11,8 @@ fn model() -> CostModel {
 
 #[test]
 fn zero_size_files_cost_only_operations() {
-    let file = FileSeries {
-        id: FileId(0),
-        size_gb: 0.0,
-        reads: vec![100, 0, 50],
-        writes: vec![1, 0, 0],
-    };
+    let file =
+        FileSeries { id: FileId(0), size_gb: 0.0, reads: vec![100, 0, 50], writes: vec![1, 0, 0] };
     let trace = Trace { days: 3, files: vec![file] };
     let m = model();
     let cfg = SimConfig::default();
@@ -60,12 +56,7 @@ fn single_file_trace_trains_and_evaluates() {
 #[test]
 fn all_zero_traffic_trace() {
     let files = (0..10)
-        .map(|i| FileSeries {
-            id: FileId(i),
-            size_gb: 0.1,
-            reads: vec![0; 7],
-            writes: vec![0; 7],
-        })
+        .map(|i| FileSeries { id: FileId(i), size_gb: 0.1, reads: vec![0; 7], writes: vec![0; 7] })
         .collect();
     let trace = Trace { days: 7, files };
     let m = model();
@@ -76,9 +67,7 @@ fn all_zero_traffic_trace() {
     let archive_only: Money = trace
         .files
         .iter()
-        .map(|f| {
-            minicost::optimal::plan_cost(f, &m, cfg.initial_tier, &vec![Tier::Archive; 7])
-        })
+        .map(|f| minicost::optimal::plan_cost(f, &m, cfg.initial_tier, &[Tier::Archive; 7]))
         .sum();
     assert_eq!(run.total_cost(), archive_only);
 }
@@ -133,10 +122,8 @@ fn forecasters_survive_pathological_histories() {
 fn aggregation_with_degenerate_groups() {
     let trace = Trace::generate(&TraceConfig::small(30, 14, 4));
     // A group whose concurrency exceeds nothing (all zeros).
-    let group = tracegen::CoRequestGroup {
-        members: vec![FileId(0), FileId(1)],
-        concurrent: vec![0; 14],
-    };
+    let group =
+        tracegen::CoRequestGroup { members: vec![FileId(0), FileId(1)], concurrent: vec![0; 14] };
     let m = model();
     let omega = Omega::evaluate(&group, &trace, &m, Tier::Hot, 0..14);
     assert!(!omega.is_beneficial());

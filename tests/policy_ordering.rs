@@ -135,24 +135,15 @@ fn ordering_holds_on_a_calibrated_trace() {
     // realistically-mixed trace: Optimal <= Greedy <= max(Hot, Cold).
     // Uses the op-dominated paper_2020 pricing — the regime the paper's
     // evaluation implies (see PricingPolicy::paper_2020 docs).
-    let trace = Trace::generate(&TraceConfig {
-        files: 400,
-        days: 35,
-        seed: 99,
-        ..TraceConfig::default()
-    });
+    let trace =
+        Trace::generate(&TraceConfig { files: 400, days: 35, seed: 99, ..TraceConfig::default() });
     let m = CostModel::new(PricingPolicy::paper_2020());
     let cfg = SimConfig::default();
     let hot = simulate(&trace, &m, &mut HotPolicy, &cfg).total_cost();
     let cold = simulate(&trace, &m, &mut ColdPolicy, &cfg).total_cost();
     let greedy = simulate(&trace, &m, &mut GreedyPolicy, &cfg).total_cost();
-    let opt = simulate(
-        &trace,
-        &m,
-        &mut OptimalPolicy::plan(&trace, &m, cfg.initial_tier),
-        &cfg,
-    )
-    .total_cost();
+    let opt = simulate(&trace, &m, &mut OptimalPolicy::plan(&trace, &m, cfg.initial_tier), &cfg)
+        .total_cost();
 
     assert!(opt <= greedy);
     assert!(greedy <= hot.max(cold));

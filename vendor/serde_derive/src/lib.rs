@@ -1,0 +1,280 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stub.
+//!
+//! Parses the derive input with a hand-written token walk (no `syn`), so it
+//! supports exactly the shapes the MiniCost workspace derives:
+//!
+//! - structs with named fields  -> JSON objects
+//! - one-field tuple structs    -> transparent newtypes
+//! - multi-field tuple structs  -> JSON arrays
+//! - unit structs               -> `null`
+//! - enums with unit variants   -> variant-name strings
+//!
+//! Generics and data-carrying enum variants are rejected with a compile
+//! error naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap_or_default()
+}
+
+/// Skips `#[...]` attributes and visibility modifiers at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]` (outer attribute / expanded doc comment).
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // Optional `(crate)` / `(super)` / `(in path)` restriction.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a token list on top-level commas, tracking `<...>` nesting so
+/// commas inside generic arguments (e.g. `HashMap<String, u64>`) don't split.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+            }
+            other => current.push(other.clone()),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive does not support generics on `{name}`"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut fields = Vec::new();
+                for field in split_commas(&body) {
+                    let j = skip_attrs_and_vis(&field, 0);
+                    match field.get(j) {
+                        Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                        other => return Err(format!("bad field in `{name}`: {other:?}")),
+                    }
+                }
+                Ok(Input { name, shape: Shape::Named(fields) })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Input { name, shape: Shape::Tuple(split_commas(&body).len()) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Input { name, shape: Shape::Unit })
+            }
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for variant in split_commas(&body) {
+                    let j = skip_attrs_and_vis(&variant, 0);
+                    let vname = match variant.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => return Err(format!("bad variant in `{name}`: {other:?}")),
+                    };
+                    match variant.get(j + 1) {
+                        None => variants.push(vname),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                            // Explicit discriminant (e.g. `Hot = 0`); name only.
+                            variants.push(vname);
+                        }
+                        Some(_) => {
+                            return Err(format!(
+                                "serde stub derive supports only unit enum variants; \
+                                 `{name}::{vname}` carries data"
+                            ))
+                        }
+                    }
+                }
+                Ok(Input { name, shape: Shape::UnitEnum(variants) })
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|ix| format!("::serde::Serialize::to_value(&self.{ix})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string())"))
+                .collect();
+            format!("match *self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap_or_else(|e| compile_error(&format!("serde stub codegen failed: {e}")))
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(map, {f:?})?"))
+                .collect();
+            format!(
+                "let ::serde::Value::Map(map) = v else {{\n\
+                     return Err(::serde::DeError::expected(\"object\", v));\n\
+                 }};\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|ix| format!("::serde::Deserialize::from_value(&items[{ix}])?"))
+                .collect();
+            format!(
+                "let ::serde::Value::Seq(items) = v else {{\n\
+                     return Err(::serde::DeError::expected(\"array\", v));\n\
+                 }};\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::DeError(format!(\
+                         \"expected {n} elements, got {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!(
+            "match v {{\n\
+                 ::serde::Value::Null => Ok({name}),\n\
+                 other => Err(::serde::DeError::expected(\"null\", other)),\n\
+             }}"
+        ),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|var| format!("{var:?} => Ok({name}::{var})"))
+                .collect();
+            format!(
+                "let ::serde::Value::Str(s) = v else {{\n\
+                     return Err(::serde::DeError::expected(\"variant string\", v));\n\
+                 }};\n\
+                 match s.as_str() {{\n\
+                     {},\n\
+                     other => Err(::serde::DeError(format!(\
+                         \"unknown variant {{other:?}} for {name}\"))),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap_or_else(|e| compile_error(&format!("serde stub codegen failed: {e}")))
+}
