@@ -173,7 +173,7 @@ pub fn apply_aggregation(trace: &Trace, groups: &[CoRequestGroup], active: &[usi
         }
         let size_gb: f64 = group.members.iter().map(|m| trace.file(*m).size_gb).sum();
         files.push(FileSeries {
-            id: FileId(files.len() as u32),
+            id: FileId::from_index(files.len()),
             size_gb,
             reads: group.concurrent.clone(),
             writes: vec![0; trace.days],
@@ -344,6 +344,36 @@ mod tests {
             let omega = Omega::evaluate(g, &trace, &m, Tier::Hot, 0..7);
             assert!(omega.0.is_finite());
         }
+    }
+
+    #[test]
+    fn aggregation_output_identical_under_permuted_insertion_order() {
+        // Determinism regression (DESIGN.md §8): feeding the same logical
+        // group set in a different order must produce a bit-identical cost.
+        // This is the property lint L5 (hashmap-iter-determinism) protects —
+        // had groups flowed through a HashMap, insertion order could leak
+        // into the float accumulation below.
+        let trace = Trace::generate(&TraceConfig::small(60, 14, 7));
+        let groups = tracegen::CoRequestModel { groups: 6, ..Default::default() }.generate(&trace);
+        let m = model();
+        let cfg = SimConfig::default();
+
+        // Run 1: groups stored in discovery order, activated 0..n.
+        let active_fwd: Vec<usize> = (0..groups.len()).collect();
+        let merged_fwd = apply_aggregation(&trace, &groups, &active_fwd);
+
+        // Run 2: the same groups stored permuted; `active` walks them in the
+        // same *logical* order via the inverse permutation.
+        let perm = [3usize, 5, 0, 4, 2, 1];
+        let stored: Vec<CoRequestGroup> = perm.iter().map(|&i| groups[i].clone()).collect();
+        let active_inv: Vec<usize> =
+            (0..groups.len()).map(|k| perm.iter().position(|&p| p == k).unwrap()).collect();
+        let merged_perm = apply_aggregation(&trace, &stored, &active_inv);
+
+        assert_eq!(merged_fwd, merged_perm, "merged trace must not depend on storage order");
+        let cost_fwd = simulate(&merged_fwd, &m, &mut HotPolicy, &cfg).total_cost();
+        let cost_perm = simulate(&merged_perm, &m, &mut HotPolicy, &cfg).total_cost();
+        assert_eq!(cost_fwd, cost_perm, "aggregated cost must be identical to the micro-dollar");
     }
 
     #[test]

@@ -112,7 +112,9 @@ pub fn brute_force_plan(
     }
     let mut best_plan = Vec::new();
     let mut best_cost = Money::MAX;
-    let combos = (TIER_COUNT as u64).pow(days as u32);
+    // `days <= 12` is asserted above, so the exponent always fits; saturate
+    // rather than truncate if that invariant ever moves.
+    let combos = (TIER_COUNT as u64).pow(u32::try_from(days).unwrap_or(u32::MAX));
     for code in 0..combos {
         let mut c = code;
         let plan: Vec<Tier> = (0..days)

@@ -155,7 +155,7 @@ mod tests {
     #[test]
     fn names_are_distinct() {
         let names = [Naive.name(), SeasonalNaive::new(7).name(), Ewma::new(0.5).name()];
-        let set: std::collections::HashSet<_> = names.iter().collect();
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
     }
 }

@@ -68,7 +68,7 @@ impl Tier {
     /// (hot→cool, hot→archive, cool→archive).
     #[must_use]
     pub const fn is_demotion_to(self, to: Tier) -> bool {
-        (to as u8) > (self as u8)
+        to.index() > self.index()
     }
 }
 

@@ -99,7 +99,7 @@ impl CoRequestModel {
                 break;
             }
             let members: Vec<FileId> =
-                pool.drain(pool.len() - size..).map(|ix| FileId(ix as u32)).collect();
+                pool.drain(pool.len() - size..).map(FileId::from_index).collect();
             let share: f64 = rng.random_range(0.0..self.level.max(f64::MIN_POSITIVE));
             let concurrent = (0..trace.days)
                 .map(|day| {
@@ -129,7 +129,7 @@ mod tests {
         let model = CoRequestModel { groups: 20, ..CoRequestModel::default() };
         let groups = model.generate(&t);
         assert_eq!(groups.len(), 20);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for g in &groups {
             for m in &g.members {
                 assert!(seen.insert(*m), "file {m} appears in two groups");

@@ -13,6 +13,17 @@ impl FileId {
     pub const fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// A `FileId` from a dense `usize` index, saturating at `u32::MAX`.
+    ///
+    /// Saturation policy: traces are bounded well below `u32::MAX` files
+    /// (the paper's corpus is ~4M); an index at or past the boundary maps
+    /// to `u32::MAX` rather than silently wrapping, so a pathological
+    /// caller aliases at one sentinel id instead of colliding low ids.
+    #[must_use]
+    pub fn from_index(index: usize) -> FileId {
+        FileId(u32::try_from(index).unwrap_or(u32::MAX))
+    }
 }
 
 impl fmt::Display for FileId {
@@ -163,5 +174,15 @@ mod tests {
     fn display_format() {
         assert_eq!(FileId(42).to_string(), "file#42");
         assert_eq!(FileId(42).index(), 42);
+    }
+
+    #[test]
+    fn from_index_saturates_at_u32_boundary() {
+        assert_eq!(FileId::from_index(0), FileId(0));
+        assert_eq!(FileId::from_index(42), FileId(42));
+        assert_eq!(FileId::from_index(u32::MAX as usize), FileId(u32::MAX));
+        // Past the boundary: saturate to the sentinel, never wrap to low ids.
+        assert_eq!(FileId::from_index(u32::MAX as usize + 1), FileId(u32::MAX));
+        assert_eq!(FileId::from_index(usize::MAX), FileId(u32::MAX));
     }
 }

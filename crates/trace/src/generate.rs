@@ -145,7 +145,7 @@ pub fn generate(config: &TraceConfig) -> Trace {
 
         let size_mb = sampling::poisson(&mut rng, config.mean_size_mb).max(1);
         files.push(FileSeries {
-            id: FileId(i as u32),
+            id: FileId::from_index(i),
             size_gb: size_mb as f64 / 1024.0,
             reads,
             writes,

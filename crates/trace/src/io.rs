@@ -127,7 +127,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
             }
             _ => {}
         }
-        files.push(FileSeries { id: FileId(files.len() as u32), size_gb, reads, writes });
+        files.push(FileSeries { id: FileId::from_index(files.len()), size_gb, reads, writes });
     }
     Ok(Trace { days: days.unwrap_or(0), files })
 }

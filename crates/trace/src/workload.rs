@@ -63,7 +63,7 @@ impl Trace {
             .enumerate()
             .map(|(new_ix, &old_ix)| {
                 let mut f = self.files[old_ix].clone();
-                f.id = FileId(new_ix as u32);
+                f.id = FileId::from_index(new_ix);
                 f
             })
             .collect();

@@ -1,0 +1,52 @@
+//! Fixture: `hashmap-iter-determinism` violations. Not compiled; scanned by
+//! self-tests.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// VIOLATION: `.values()` iteration over a `HashMap` in library code.
+pub fn collect_values(by_id: &HashMap<u32, u64>) -> Vec<u64> {
+    by_id.values().copied().collect()
+}
+
+/// VIOLATION: `for` loop over a `HashSet` reference.
+pub fn visit_members() {
+    let mut members = HashSet::new();
+    members.insert(1u32);
+    for m in &members {
+        drop(m);
+    }
+}
+
+/// VIOLATION: `.iter()` on a hash map bound through `collect`.
+pub fn rebuild(pairs: &[(u32, u64)]) -> Vec<(u32, u64)> {
+    let index = pairs.iter().copied().collect::<HashMap<u32, u64>>();
+    index.iter().map(|(k, v)| (*k, *v)).collect()
+}
+
+/// Allowed: lookups without iteration are order-independent.
+pub fn lookup(by_id: &HashMap<u32, u64>, id: u32) -> u64 {
+    by_id.get(&id).copied().unwrap_or(0)
+}
+
+/// Allowed: `BTreeMap` iterates in key order.
+pub fn ordered_values(by_id: &BTreeMap<u32, u64>) -> Vec<u64> {
+    by_id.values().copied().collect()
+}
+
+/// Allowed: escape hatch with justification.
+pub fn counted(by_id: &HashMap<u32, u64>) -> usize {
+    // xtask-allow: hashmap-iter-determinism (count is order-independent)
+    by_id.keys().count()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Allowed: test assertions may iterate hash containers.
+    #[test]
+    fn test_iteration_ok() {
+        let m: std::collections::HashMap<u8, u8> = Default::default();
+        for kv in m.iter() {
+            drop(kv);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: `float-reduction-order` violations. Not compiled; scanned by
+//! self-tests. Scope: gradient/reward accumulation in `nn`/`rl`.
+
+use std::collections::HashMap;
+
+/// VIOLATION: f64 sum over unordered map values — the result's bit pattern
+/// depends on hash iteration order.
+pub fn grad_norm_sq(grads: &HashMap<u32, f64>) -> f64 {
+    grads.values().map(|g| g * g).sum::<f64>()
+}
+
+/// VIOLATION: fold over unordered iteration.
+pub fn total_reward(rewards: &HashMap<u64, f64>) -> f64 {
+    rewards.values().fold(0.0, |acc, r| acc + r)
+}
+
+/// Allowed: slices iterate in order; the reduction is reproducible.
+pub fn ordered_norm_sq(grads: &[f64]) -> f64 {
+    grads.iter().map(|g| g * g).sum::<f64>()
+}
+
+/// Allowed: escape hatch for a documented order-independent reduction.
+pub fn count_active(rewards: &HashMap<u64, f64>) -> usize {
+    // xtask-allow: float-reduction-order, hashmap-iter-determinism (usize count)
+    rewards.values().filter(|r| **r > 0.0).fold(0, |n, _| n + 1)
+}

@@ -1,0 +1,49 @@
+//! Fixture: `narrowing-cast-audit` violations. Not compiled; scanned by
+//! self-tests. Scope: op counters, byte sizes, tick indices in
+//! `core`/`pricing`/`trace`.
+
+/// VIOLATION: op counter narrowed from u64 — wraps silently past u32::MAX.
+pub fn ops_to_u32(ops: u64) -> u32 {
+    ops as u32
+}
+
+/// VIOLATION: tick index narrowed to i32.
+pub fn tick_delta(now: usize, then: usize) -> i32 {
+    (now - then) as i32
+}
+
+/// VIOLATION: byte size squeezed into u16.
+pub fn size_bucket(bytes: u64) -> u16 {
+    (bytes / 1024) as u16
+}
+
+/// Allowed: widening and float conversions are not narrowing casts.
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+/// Allowed: checked conversion with an explicit saturation policy.
+pub fn ops_to_u32_checked(ops: u64) -> u32 {
+    u32::try_from(ops).unwrap_or(u32::MAX)
+}
+
+/// Allowed: literal casts keep the value visible at the site.
+pub fn constant() -> u32 {
+    255 as u32
+}
+
+/// Allowed: escape hatch for a proven-bounded cast.
+pub fn bounded(day_of_week: usize) -> u8 {
+    // xtask-allow: narrowing-cast-audit (day_of_week < 7 by construction)
+    day_of_week as u8
+}
+
+#[cfg(test)]
+mod tests {
+    /// Allowed: test code may cast freely.
+    #[test]
+    fn test_casts_ok() {
+        let x: u64 = 300;
+        assert_eq!(x as u8, 44);
+    }
+}

@@ -1,0 +1,47 @@
+//! Fixture: `exhaustive-tier-match` violations. Not compiled; scanned by
+//! self-tests. Adding a fourth tier must be a compile-gated event.
+
+/// VIOLATION: wildcard arm absorbs any future tier silently.
+pub fn storage_weight(tier: Tier) -> f64 {
+    match tier {
+        Tier::Hot => 1.0,
+        _ => 0.2,
+    }
+}
+
+/// VIOLATION: wildcard with a guard is still a wildcard.
+pub fn ops_weight(tier: Tier, boost: bool) -> f64 {
+    match tier {
+        Tier::Archive => 10.0,
+        _ if boost => 2.0,
+        _ => 1.0,
+    }
+}
+
+/// Allowed: every variant listed — a fourth tier breaks the build here.
+pub fn retrieval_weight(tier: Tier) -> f64 {
+    match tier {
+        Tier::Hot => 0.0,
+        Tier::Cool => 0.01,
+        Tier::Archive => 0.02,
+    }
+}
+
+/// Allowed: the wildcard matches a non-tier scrutinee; `Tier::` only
+/// appears in arm expressions.
+pub fn from_code(code: u8) -> Tier {
+    match code {
+        0 => Tier::Hot,
+        1 => Tier::Cool,
+        _ => Tier::Archive,
+    }
+}
+
+/// Allowed: escape hatch for a documented default.
+pub fn is_hot(tier: Tier) -> bool {
+    match tier {
+        Tier::Hot => true,
+        // xtask-allow: exhaustive-tier-match (any colder tier is "not hot")
+        _ => false,
+    }
+}

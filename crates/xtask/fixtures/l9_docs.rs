@@ -1,0 +1,51 @@
+//! Fixture: `pub-api-doc-coverage` violations. Not compiled; scanned by
+//! self-tests.
+
+pub struct UndocumentedStruct; // VIOLATION (line above has no doc)
+
+pub fn undocumented_fn() {} // VIOLATION
+
+pub enum UndocumentedEnum {} // VIOLATION
+
+pub const UNDOCUMENTED_CONST: usize = 3; // VIOLATION
+
+/// Documented struct.
+pub struct Documented {
+    field: u8,
+}
+
+impl Documented {
+    pub fn undocumented_method(&self) -> u8 {
+        // ^ VIOLATION: public method without a doc comment
+        self.field
+    }
+
+    /// Documented method.
+    pub fn documented_method(&self) -> u8 {
+        self.field
+    }
+
+    fn private_method(&self) {}
+}
+
+/// Documented trait.
+pub trait DocumentedTrait {
+    /// Documented required method.
+    fn required(&self);
+}
+
+pub(crate) fn scoped_needs_no_doc() {}
+
+fn private_needs_no_doc() {}
+
+mod detail {
+    pub fn internal_helper_needs_no_doc() {}
+}
+
+// xtask-allow: pub-api-doc-coverage (self-explanatory re-export shim)
+pub fn allowed_without_doc() {}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_helper_needs_no_doc() {}
+}

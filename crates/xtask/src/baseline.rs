@@ -1,0 +1,231 @@
+//! Violation baseline with expiry semantics.
+//!
+//! `xtask-baseline.json` (repo root) lists known violations that are
+//! temporarily tolerated. Each entry names a lint, a repo-relative file, a
+//! human reason, and a hard `expires` date (`YYYY-MM-DD`). The gate:
+//!
+//! - violations matched by a live entry are reported as `baselined` and do
+//!   not fail the build;
+//! - an **expired** entry fails the gate outright — suppressions are loans,
+//!   not grants, and they must be re-justified or the violation fixed;
+//! - an entry matching nothing is reported as `unused` (warning only) so the
+//!   file shrinks as debt is paid down.
+//!
+//! Matching is by lint name plus file-path suffix, deliberately not by line:
+//! line numbers churn with every edit, and a per-file grant is the coarsest
+//! scope that still expires.
+
+use crate::json::Json;
+use crate::lints::Violation;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One tolerated violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Lint name (`narrowing-cast-audit`, ...).
+    pub lint: String,
+    /// Repo-relative file path the grant covers.
+    pub file: String,
+    /// Why this violation is tolerated.
+    pub reason: String,
+    /// Last valid day, `YYYY-MM-DD`; the gate fails the day after.
+    pub expires: String,
+}
+
+/// The parsed baseline file.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// All entries, in file order.
+    pub entries: Vec<Entry>,
+}
+
+/// Result of applying a baseline to a violation list.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Index into `Baseline::entries` for each violation, where matched.
+    pub matched: Vec<Option<usize>>,
+    /// Entries past their `expires` date (gate failure).
+    pub expired: Vec<Entry>,
+    /// Entries that matched no violation (warning).
+    pub unused: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Loads the baseline from `<root>/xtask-baseline.json`. A missing file
+    /// is an empty baseline; a malformed one is an error (a typo must not
+    /// silently drop suppressions *or* grant extra ones).
+    pub fn load(root: &Path) -> Result<Baseline, String> {
+        let path = root.join("xtask-baseline.json");
+        match std::fs::read_to_string(&path) {
+            Ok(src) => Baseline::parse(&src).map_err(|e| format!("{}: {e}", path.display())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Parses the baseline document: `{"entries": [{lint, file, reason,
+    /// expires}, ...]}`.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let doc = Json::parse(src)?;
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("baseline must have an `entries` array")?;
+        let mut out = Vec::new();
+        for (i, e) in entries.iter().enumerate() {
+            let field = |name: &str| {
+                e.get(name)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("entry {i}: missing string field `{name}`"))
+            };
+            let entry = Entry {
+                lint: field("lint")?,
+                file: field("file")?,
+                reason: field("reason")?,
+                expires: field("expires")?,
+            };
+            if !valid_date(&entry.expires) {
+                return Err(format!(
+                    "entry {i}: `expires` must be YYYY-MM-DD, got `{}`",
+                    entry.expires
+                ));
+            }
+            out.push(entry);
+        }
+        Ok(Baseline { entries: out })
+    }
+
+    /// Matches violations against entries as of `today` (`YYYY-MM-DD`).
+    /// Expired entries never suppress; they surface in `Applied::expired`.
+    pub fn apply(&self, violations: &[Violation], today: &str) -> Applied {
+        let live: Vec<bool> = self.entries.iter().map(|e| e.expires.as_str() >= today).collect();
+        let mut used = vec![false; self.entries.len()];
+        let matched = violations
+            .iter()
+            .map(|v| {
+                let hit = self.entries.iter().enumerate().position(|(i, e)| {
+                    live[i] && e.lint == v.lint.name() && v.file.ends_with(&e.file)
+                });
+                if let Some(i) = hit {
+                    used[i] = true;
+                }
+                hit
+            })
+            .collect();
+        let expired =
+            self.entries.iter().enumerate().filter(|(i, _)| !live[*i]).map(|(_, e)| e.clone());
+        let unused = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| live[*i] && !used[*i])
+            .map(|(_, e)| e.clone());
+        Applied { matched, expired: expired.collect(), unused: unused.collect() }
+    }
+}
+
+/// Structural `YYYY-MM-DD` check; string comparison then orders dates.
+fn valid_date(s: &str) -> bool {
+    let b = s.as_bytes();
+    b.len() == 10
+        && b[4] == b'-'
+        && b[7] == b'-'
+        && b.iter().enumerate().all(|(i, c)| i == 4 || i == 7 || c.is_ascii_digit())
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock — civil-from-days
+/// (Howard Hinnant's algorithm), so no date crate is needed.
+pub fn today_utc() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
+    let days = i64::try_from(secs / 86_400).unwrap_or(0);
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Converts days since 1970-01-01 to a civil (y, m, d) date.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    (if m <= 2 { y + 1 } else { y }, m as u32, d as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Lint;
+
+    fn violation(lint: Lint, file: &str) -> Violation {
+        Violation { lint, file: file.to_string(), line: 10, message: "m".to_string() }
+    }
+
+    fn baseline_json(expires: &str) -> String {
+        format!(
+            r#"{{"entries": [{{"lint": "narrowing-cast-audit", "file": "crates/core/src/x.rs",
+                "reason": "migration in flight", "expires": "{expires}"}}]}}"#
+        )
+    }
+
+    #[test]
+    fn live_entry_suppresses_matching_violation() {
+        let b = Baseline::parse(&baseline_json("2099-12-31")).expect("parse");
+        let vs = [
+            violation(Lint::NarrowingCastAudit, "/repo/crates/core/src/x.rs"),
+            violation(Lint::NarrowingCastAudit, "/repo/crates/core/src/other.rs"),
+            violation(Lint::NoPanicInLibs, "/repo/crates/core/src/x.rs"),
+        ];
+        let applied = b.apply(&vs, "2026-08-05");
+        assert_eq!(applied.matched, vec![Some(0), None, None]);
+        assert!(applied.expired.is_empty());
+        assert!(applied.unused.is_empty());
+    }
+
+    #[test]
+    fn expired_entry_fails_and_stops_suppressing() {
+        let b = Baseline::parse(&baseline_json("2026-01-01")).expect("parse");
+        let vs = [violation(Lint::NarrowingCastAudit, "crates/core/src/x.rs")];
+        let applied = b.apply(&vs, "2026-08-05");
+        assert_eq!(applied.matched, vec![None], "expired grants must not suppress");
+        assert_eq!(applied.expired.len(), 1);
+    }
+
+    #[test]
+    fn entry_valid_through_its_expiry_day() {
+        let b = Baseline::parse(&baseline_json("2026-08-05")).expect("parse");
+        let applied = b.apply(&[], "2026-08-05");
+        assert!(applied.expired.is_empty(), "expires is the last valid day");
+        assert_eq!(applied.unused.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error_not_empty() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse(r#"{"entries": [{"lint": "x"}]}"#).is_err());
+        let bad_date = baseline_json("tomorrow");
+        assert!(Baseline::parse(&bad_date).is_err());
+    }
+
+    #[test]
+    fn civil_from_days_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year
+        assert_eq!(civil_from_days(19_723 + 59), (2024, 2, 29));
+        assert_eq!(civil_from_days(20_670), (2026, 8, 5));
+    }
+
+    #[test]
+    fn today_is_well_formed() {
+        let t = today_utc();
+        assert!(valid_date(&t), "{t}");
+        assert!(t.as_str() > "2026-01-01", "{t}");
+    }
+}

@@ -1,0 +1,388 @@
+//! Workspace-wide symbol and call graph over the first-party crates.
+//!
+//! Built from the per-file item trees of [`crate::parser`]: every item is
+//! registered under its defining crate, `use` declarations become crate
+//! dependency edges, and function bodies are scanned for call sites which
+//! are resolved (best-effort, by name, through the use-graph) to defining
+//! crates. All containers are `BTreeMap`/`BTreeSet`, so graph output is
+//! deterministic — the same discipline lint L5 enforces on the product
+//! crates.
+
+use crate::lexer::Lexed;
+use crate::parser::{walk_items, Item, ItemKind, Vis};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Maps a crate *directory* name (`crates/<dir>`) to its library target
+/// name as it appears in `use` paths. Keep in sync with `crates/*/Cargo.toml`.
+pub const CRATE_LIB_NAMES: [(&str, &str); 8] = [
+    ("pricing", "pricing"),
+    ("trace", "tracegen"),
+    ("forecast", "forecast"),
+    ("nn", "nn"),
+    ("rl", "rl"),
+    ("core", "minicost"),
+    ("bench", "bench_support"),
+    ("xtask", "xtask"),
+];
+
+/// One symbol definition in the graph.
+#[derive(Clone, Debug)]
+pub struct Def {
+    /// Crate directory name (`pricing`, `trace`, ...).
+    pub krate: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// Qualified name within the crate (`Container::name` or `name`).
+    pub qualified: String,
+    /// Item kind.
+    pub kind: ItemKind,
+    /// 1-based definition line.
+    pub line: usize,
+    /// Bare `pub` visibility.
+    pub is_pub: bool,
+    /// Outer doc comment present.
+    pub has_doc: bool,
+    /// Defined inside test code.
+    pub in_test: bool,
+}
+
+/// One call site resolved (or not) to a definition.
+#[derive(Clone, Debug)]
+pub struct CallEdge {
+    /// Qualified caller (`crate::Container::fn`).
+    pub from: String,
+    /// Caller's crate directory name.
+    pub from_crate: String,
+    /// Callee name as written.
+    pub to_name: String,
+    /// Crate the callee resolved to, when the name is defined exactly once
+    /// or the use-graph disambiguates it.
+    pub to_crate: Option<String>,
+}
+
+/// Aggregate per-crate statistics.
+#[derive(Clone, Debug, Default)]
+pub struct CrateStats {
+    /// Total items (excluding enum variants).
+    pub items: usize,
+    /// Bare-`pub` items.
+    pub pub_items: usize,
+    /// Bare-`pub` items with docs.
+    pub pub_documented: usize,
+    /// Function count.
+    pub fns: usize,
+}
+
+/// The assembled workspace graph.
+#[derive(Debug, Default)]
+pub struct SymbolGraph {
+    /// Simple name -> definitions (possibly in several crates).
+    pub defs: BTreeMap<String, Vec<Def>>,
+    /// Crate dir name -> lib names of first-party crates it `use`s.
+    pub crate_deps: BTreeMap<String, BTreeSet<String>>,
+    /// Call edges, in file/source order.
+    pub edges: Vec<CallEdge>,
+    /// Per-crate stats.
+    pub crates: BTreeMap<String, CrateStats>,
+}
+
+/// Input to the graph builder: one parsed file.
+pub struct ParsedFile<'a> {
+    /// Crate directory name.
+    pub krate: String,
+    /// Repo-relative display path.
+    pub file: String,
+    /// Lexed tokens (for call-site scanning).
+    pub lexed: &'a Lexed,
+    /// Item tree.
+    pub items: &'a [Item],
+}
+
+/// Identifiers that look like calls but are control flow or builtins.
+const NON_CALLEES: &[&str] = &[
+    "if",
+    "while",
+    "for",
+    "match",
+    "loop",
+    "return",
+    "fn",
+    "let",
+    "mut",
+    "ref",
+    "move",
+    "in",
+    "as",
+    "use",
+    "pub",
+    "impl",
+    "where",
+    "else",
+    "break",
+    "continue",
+    "unsafe",
+    "dyn",
+    "Some",
+    "None",
+    "Ok",
+    "Err",
+    "self",
+    "Self",
+    "crate",
+    "super",
+    "vec",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "format",
+    "println",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "matches",
+    "include_str",
+    "env",
+    "concat",
+    "stringify",
+];
+
+impl SymbolGraph {
+    /// Builds the graph from all parsed files of the workspace.
+    pub fn build(files: &[ParsedFile<'_>]) -> SymbolGraph {
+        let mut graph = SymbolGraph::default();
+        let lib_to_dir: BTreeMap<&str, &str> =
+            CRATE_LIB_NAMES.iter().map(|(d, l)| (*l, *d)).collect();
+
+        // Pass 1: register definitions and use-edges.
+        for pf in files {
+            let stats = graph.crates.entry(pf.krate.clone()).or_default();
+            walk_items(pf.items, &mut |item, stack| {
+                if item.kind == ItemKind::Variant {
+                    return;
+                }
+                if item.kind == ItemKind::Use {
+                    let root = item.name.split(':').next().unwrap_or("");
+                    if lib_to_dir.contains_key(root) && root != pf.krate {
+                        graph
+                            .crate_deps
+                            .entry(pf.krate.clone())
+                            .or_default()
+                            .insert(root.to_string());
+                    }
+                    return;
+                }
+                stats.items += 1;
+                if item.kind == ItemKind::Fn {
+                    stats.fns += 1;
+                }
+                if item.vis == Vis::Pub && !item.in_test {
+                    stats.pub_items += 1;
+                    if item.has_doc {
+                        stats.pub_documented += 1;
+                    }
+                }
+                let qualified = qualify(stack, &item.name);
+                graph.defs.entry(item.name.clone()).or_default().push(Def {
+                    krate: pf.krate.clone(),
+                    file: pf.file.clone(),
+                    qualified,
+                    kind: item.kind,
+                    line: item.line,
+                    is_pub: item.vis == Vis::Pub,
+                    has_doc: item.has_doc,
+                    in_test: item.in_test,
+                });
+            });
+        }
+
+        // Pass 2: call edges from fn bodies.
+        for pf in files {
+            walk_items(pf.items, &mut |item, stack| {
+                if item.kind != ItemKind::Fn || item.in_test {
+                    return;
+                }
+                let Some((start, end)) = item.body else { return };
+                let from = format!("{}::{}", pf.krate, qualify(stack, &item.name));
+                for (name, _line) in call_sites(pf.lexed, start, end) {
+                    let to_crate = graph.resolve(&name, &pf.krate);
+                    graph.edges.push(CallEdge {
+                        from: from.clone(),
+                        from_crate: pf.krate.clone(),
+                        to_name: name,
+                        to_crate,
+                    });
+                }
+            });
+        }
+        graph
+    }
+
+    /// Resolves a callee name to a defining crate: prefer the caller's own
+    /// crate, else a unique defining crate among the caller's dependencies,
+    /// else a unique defining crate overall.
+    fn resolve(&self, name: &str, from_crate: &str) -> Option<String> {
+        let defs = self.defs.get(name)?;
+        let crates: BTreeSet<&str> =
+            defs.iter().filter(|d| !d.in_test).map(|d| d.krate.as_str()).collect();
+        if crates.contains(from_crate) {
+            return Some(from_crate.to_string());
+        }
+        let dep_dirs: BTreeSet<&str> = self
+            .crate_deps
+            .get(from_crate)
+            .map(|libs| {
+                CRATE_LIB_NAMES.iter().filter(|(_, l)| libs.contains(*l)).map(|(d, _)| *d).collect()
+            })
+            .unwrap_or_default();
+        let in_deps: Vec<&&str> = crates.iter().filter(|c| dep_dirs.contains(**c)).collect();
+        match in_deps.as_slice() {
+            [only] => Some((**only).to_string()),
+            _ if crates.len() == 1 => crates.iter().next().map(|c| (*c).to_string()),
+            _ => None,
+        }
+    }
+
+    /// Number of resolved edges crossing a crate boundary.
+    pub fn cross_crate_edges(&self) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| e.to_crate.as_deref().is_some_and(|c| c != e.from_crate))
+            .count()
+    }
+
+    /// Human-readable multi-line summary for `cargo xtask graph`.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "workspace symbol graph:");
+        for (krate, stats) in &self.crates {
+            let deps = self
+                .crate_deps
+                .get(krate)
+                .map(|d| d.iter().map(String::as_str).collect::<Vec<_>>().join(", "))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "  {krate}: {} items ({} fns), {} pub ({} documented){}",
+                stats.items,
+                stats.fns,
+                stats.pub_items,
+                stats.pub_documented,
+                if deps.is_empty() { String::new() } else { format!("; uses {deps}") },
+            );
+        }
+        let resolved = self.edges.iter().filter(|e| e.to_crate.is_some()).count();
+        let _ = writeln!(
+            out,
+            "  edges: {} call sites, {} resolved, {} cross-crate",
+            self.edges.len(),
+            resolved,
+            self.cross_crate_edges(),
+        );
+        out
+    }
+}
+
+/// `Container::name` when the item is nested in an impl/trait/mod.
+fn qualify(stack: &[&Item], name: &str) -> String {
+    let mut parts: Vec<&str> =
+        stack.iter().filter(|s| !s.name.is_empty()).map(|s| s.name.as_str()).collect();
+    parts.push(name);
+    parts.join("::")
+}
+
+/// Extracts `(callee_name, line)` candidates from a body token range:
+/// identifiers directly followed by `(`, excluding keywords/macros, plus the
+/// final segment of `a::b::c(` paths.
+fn call_sites(lexed: &Lexed, start: usize, end: usize) -> Vec<(String, usize)> {
+    let toks = &lexed.toks[start..end.min(lexed.toks.len())];
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Some(id) = t.kind.ident() else { continue };
+        if NON_CALLEES.contains(&id) {
+            continue;
+        }
+        let called = toks.get(i + 1).is_some_and(|n| n.kind.is_punct("("));
+        let is_macro = toks.get(i + 1).is_some_and(|n| n.kind.is_punct("!"));
+        if called && !is_macro {
+            out.push((id.to_string(), t.line));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::lints::mark_regions;
+    use crate::parser::parse_items;
+
+    fn parsed<'a>(krate: &str, file: &str, lexed: &'a Lexed, items: &'a [Item]) -> ParsedFile<'a> {
+        ParsedFile { krate: krate.to_string(), file: file.to_string(), lexed, items }
+    }
+
+    #[test]
+    fn resolves_cross_crate_calls_through_use_graph() {
+        let src_pricing =
+            "pub struct Money;\nimpl Money {\n    pub fn zero() -> Money { Money }\n}\n";
+        let src_core =
+            "use pricing::Money;\npub fn run() { let _ = zero(); helper(); }\nfn helper() {}\n";
+        let lx_p = lex(src_pricing);
+        let mk_p = mark_regions(&lx_p.toks);
+        let it_p = parse_items(&lx_p, &mk_p);
+        let lx_c = lex(src_core);
+        let mk_c = mark_regions(&lx_c.toks);
+        let it_c = parse_items(&lx_c, &mk_c);
+        let graph = SymbolGraph::build(&[
+            parsed("pricing", "crates/pricing/src/money.rs", &lx_p, &it_p),
+            parsed("core", "crates/core/src/run.rs", &lx_c, &it_c),
+        ]);
+        // `zero` resolves to pricing (unique def, reachable via use-graph);
+        // `helper` resolves within core.
+        let zero = graph.edges.iter().find(|e| e.to_name == "zero").expect("zero edge");
+        assert_eq!(zero.to_crate.as_deref(), Some("pricing"));
+        let helper = graph.edges.iter().find(|e| e.to_name == "helper").expect("helper edge");
+        assert_eq!(helper.to_crate.as_deref(), Some("core"));
+        assert_eq!(graph.cross_crate_edges(), 1);
+        assert!(graph.crate_deps.get("core").is_some_and(|d| d.contains("pricing")));
+    }
+
+    #[test]
+    fn stats_count_pub_and_documented_items() {
+        let src = "/// Doc.\npub fn a() {}\npub fn b() {}\nfn c() {}\n";
+        let lx = lex(src);
+        let mk = mark_regions(&lx.toks);
+        let items = parse_items(&lx, &mk);
+        let graph = SymbolGraph::build(&[parsed("nn", "crates/nn/src/x.rs", &lx, &items)]);
+        let stats = graph.crates.get("nn").expect("nn stats");
+        assert_eq!(stats.items, 3);
+        assert_eq!(stats.pub_items, 2);
+        assert_eq!(stats.pub_documented, 1);
+        assert_eq!(stats.fns, 3);
+    }
+
+    #[test]
+    fn summary_is_deterministic_and_mentions_crates() {
+        let src = "pub fn a() {}\n";
+        let lx = lex(src);
+        let mk = mark_regions(&lx.toks);
+        let items = parse_items(&lx, &mk);
+        let g1 = SymbolGraph::build(&[parsed("rl", "crates/rl/src/x.rs", &lx, &items)]);
+        let g2 = SymbolGraph::build(&[parsed("rl", "crates/rl/src/x.rs", &lx, &items)]);
+        assert_eq!(g1.summary(), g2.summary());
+        assert!(g1.summary().contains("rl:"));
+    }
+
+    #[test]
+    fn test_code_is_excluded_from_edges() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { target(); }\n}\npub fn target() {}\n";
+        let lx = lex(src);
+        let mk = mark_regions(&lx.toks);
+        let items = parse_items(&lx, &mk);
+        let graph = SymbolGraph::build(&[parsed("core", "x.rs", &lx, &items)]);
+        assert!(graph.edges.is_empty(), "{:?}", graph.edges);
+    }
+}

@@ -59,6 +59,10 @@ pub struct Lexed {
     pub toks: Vec<Tok>,
     /// All `xtask-allow` comments found anywhere in the file.
     pub allows: Vec<Allow>,
+    /// Lines carrying an outer doc comment (`///` or the closing line of a
+    /// `/** */` block), sorted ascending. Inner docs (`//!`, `/*!`) are not
+    /// recorded: they document the enclosing module, not the next item.
+    pub doc_lines: Vec<usize>,
 }
 
 /// Multi-character operators, longest first so greedy matching is correct.
@@ -73,7 +77,14 @@ fn record_allow(comment: &str, line: usize, allows: &mut Vec<Allow>) {
     if let Some(pos) = comment.find(ALLOW_MARKER) {
         let lints = comment[pos + ALLOW_MARKER.len()..]
             .split(',')
-            .map(|s| s.trim().trim_end_matches("*/").trim().to_string())
+            .map(|s| {
+                // Keep the leading lint-name token; anything after it
+                // (`(justification)`, `-- why`) is free-form commentary.
+                s.trim()
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                    .collect::<String>()
+            })
             .filter(|s| !s.is_empty())
             .collect();
         allows.push(Allow { line, lints });
@@ -103,7 +114,11 @@ pub fn lex(src: &str) -> Lexed {
             c if c.is_ascii_whitespace() => i += 1,
             b'/' if bytes.get(i + 1) == Some(&b'/') => {
                 let end = src[i..].find('\n').map_or(bytes.len(), |p| i + p);
-                record_allow(&src[i..end], line, &mut out.allows);
+                let comment = &src[i..end];
+                if comment.starts_with("///") {
+                    out.doc_lines.push(line);
+                }
+                record_allow(comment, line, &mut out.allows);
                 i = end;
             }
             b'/' if bytes.get(i + 1) == Some(&b'*') => {
@@ -125,7 +140,14 @@ pub fn lex(src: &str) -> Lexed {
                         i += 1;
                     }
                 }
-                record_allow(&src[start..i], start_line, &mut out.allows);
+                let comment = &src[start..i];
+                if comment.starts_with("/**") && !comment.starts_with("/**/") {
+                    // Record the block's *closing* line so the "doc directly
+                    // above the item" adjacency check works for multi-line
+                    // block docs too.
+                    out.doc_lines.push(line);
+                }
+                record_allow(comment, start_line, &mut out.allows);
             }
             b'"' => {
                 let tok_line = line;
@@ -331,6 +353,14 @@ mod tests {
         assert_eq!(lexed.allows.len(), 1);
         assert_eq!(lexed.allows[0].line, 1);
         assert_eq!(lexed.allows[0].lints, vec!["money-safety", "no-panic-in-libs"]);
+    }
+
+    #[test]
+    fn doc_lines_recorded_for_outer_docs_only() {
+        let src = "//! module doc\n/// item doc\nfn f() {}\n/** block\ndoc */\nfn g() {}\n// plain\nfn h() {}\n";
+        let lexed = lex(src);
+        // `///` on line 2; `/** */` closes on line 5. `//!` and `//` ignored.
+        assert_eq!(lexed.doc_lines, vec![2, 5]);
     }
 
     #[test]

@@ -20,6 +20,16 @@ pub enum Lint {
     SeededRngOnly,
     /// L4: mutex guards held across spawns or long loops.
     LockDiscipline,
+    /// L5: iterating a `HashMap`/`HashSet` outside tests/bins.
+    HashmapIterDeterminism,
+    /// L6: float reductions over unordered iterators in `nn`/`rl`.
+    FloatReductionOrder,
+    /// L7: `as` casts that can truncate counters/sizes/indices.
+    NarrowingCastAudit,
+    /// L8: `_` wildcard arms in matches over `Tier` patterns.
+    ExhaustiveTierMatch,
+    /// L9: undocumented `pub` items in library crates.
+    PubApiDocCoverage,
 }
 
 impl Lint {
@@ -30,12 +40,27 @@ impl Lint {
             Lint::NoPanicInLibs => "no-panic-in-libs",
             Lint::SeededRngOnly => "seeded-rng-only",
             Lint::LockDiscipline => "lock-discipline",
+            Lint::HashmapIterDeterminism => "hashmap-iter-determinism",
+            Lint::FloatReductionOrder => "float-reduction-order",
+            Lint::NarrowingCastAudit => "narrowing-cast-audit",
+            Lint::ExhaustiveTierMatch => "exhaustive-tier-match",
+            Lint::PubApiDocCoverage => "pub-api-doc-coverage",
         }
     }
 
     /// All lints, in diagnostic order.
-    pub fn all() -> [Lint; 4] {
-        [Lint::MoneySafety, Lint::NoPanicInLibs, Lint::SeededRngOnly, Lint::LockDiscipline]
+    pub fn all() -> [Lint; 9] {
+        [
+            Lint::MoneySafety,
+            Lint::NoPanicInLibs,
+            Lint::SeededRngOnly,
+            Lint::LockDiscipline,
+            Lint::HashmapIterDeterminism,
+            Lint::FloatReductionOrder,
+            Lint::NarrowingCastAudit,
+            Lint::ExhaustiveTierMatch,
+            Lint::PubApiDocCoverage,
+        ]
     }
 }
 
@@ -94,17 +119,30 @@ impl FileContext {
 
     fn lint_applies(&self, lint: Lint) -> bool {
         const LIB_CRATES: [&str; 6] = ["pricing", "trace", "forecast", "nn", "rl", "core"];
+        let in_lib = LIB_CRATES.contains(&self.crate_name.as_str()) && !self.is_bin
+            || self.crate_name == "fixture";
         match lint {
             // Pricing owns dollar<->micro conversion; bench code is exempt.
             Lint::MoneySafety => self.crate_name != "pricing" && self.crate_name != "bench",
-            Lint::NoPanicInLibs => {
-                LIB_CRATES.contains(&self.crate_name.as_str()) && !self.is_bin
-                    || self.crate_name == "fixture"
-            }
+            Lint::NoPanicInLibs => in_lib,
             Lint::SeededRngOnly => true,
             Lint::LockDiscipline => {
                 matches!(self.crate_name.as_str(), "rl" | "core" | "fixture")
             }
+            // Bit-determinism of the A3C audit: any unordered iteration in a
+            // library crate can leak into reward accounting.
+            Lint::HashmapIterDeterminism => in_lib,
+            // Gradient/reward reduction paths live in nn and rl.
+            Lint::FloatReductionOrder => {
+                matches!(self.crate_name.as_str(), "nn" | "rl" | "fixture")
+            }
+            // Op counters, byte sizes, and tick indices live in these crates.
+            Lint::NarrowingCastAudit => {
+                matches!(self.crate_name.as_str(), "core" | "pricing" | "trace" | "fixture")
+                    && !self.is_bin
+            }
+            Lint::ExhaustiveTierMatch => true,
+            Lint::PubApiDocCoverage => in_lib,
         }
     }
 }
@@ -116,6 +154,7 @@ const LONG_LOOP_LINES: usize = 8;
 pub fn scan_source(path: &Path, src: &str, ctx: &FileContext) -> Vec<Violation> {
     let lexed = lex(src);
     let marks = mark_regions(&lexed.toks);
+    let items = crate::parser::parse_items(&lexed, &marks);
     let mut out = Vec::new();
     for lint in Lint::all() {
         if !ctx.lint_applies(lint) {
@@ -126,6 +165,17 @@ pub fn scan_source(path: &Path, src: &str, ctx: &FileContext) -> Vec<Violation> 
             Lint::NoPanicInLibs => lint_no_panic(&lexed.toks, &marks),
             Lint::SeededRngOnly => lint_seeded_rng(&lexed.toks, &marks),
             Lint::LockDiscipline => lint_lock_discipline(&lexed.toks, &marks),
+            Lint::HashmapIterDeterminism => {
+                crate::syntax_lints::lint_hashmap_iter(&lexed.toks, &marks, &items)
+            }
+            Lint::FloatReductionOrder => {
+                crate::syntax_lints::lint_float_reduction(&lexed.toks, &marks, &items)
+            }
+            Lint::NarrowingCastAudit => {
+                crate::syntax_lints::lint_narrowing_cast(&lexed.toks, &marks)
+            }
+            Lint::ExhaustiveTierMatch => crate::syntax_lints::lint_tier_match(&lexed.toks, &marks),
+            Lint::PubApiDocCoverage => crate::syntax_lints::lint_pub_doc(&items),
         };
         for (line, message) in raw {
             if allowed(&lexed, lint, line) {
@@ -148,13 +198,13 @@ fn allowed(lexed: &Lexed, lint: Lint, line: usize) -> bool {
 }
 
 /// Per-token context: brace depth and whether the token is inside test code.
-struct Marks {
-    depth: Vec<usize>,
-    in_test: Vec<bool>,
+pub struct Marks {
+    pub depth: Vec<usize>,
+    pub in_test: Vec<bool>,
 }
 
 /// Computes brace depth and `#[cfg(test)]` / `#[test]` regions per token.
-fn mark_regions(toks: &[Tok]) -> Marks {
+pub fn mark_regions(toks: &[Tok]) -> Marks {
     let mut depth = 0usize;
     let mut depths = Vec::with_capacity(toks.len());
     let mut in_test = Vec::with_capacity(toks.len());

@@ -1,24 +1,39 @@
 //! `cargo xtask` — the workspace static-analysis gate.
 //!
 //! `cargo xtask check` runs, in order:
-//! 1. the four custom MiniCost lints (`money-safety`, `no-panic-in-libs`,
-//!    `seeded-rng-only`, `lock-discipline`) over every `crates/*/src` tree,
+//! 1. the nine custom MiniCost lints (L1 `money-safety`, L2
+//!    `no-panic-in-libs`, L3 `seeded-rng-only`, L4 `lock-discipline`, L5
+//!    `hashmap-iter-determinism`, L6 `float-reduction-order`, L7
+//!    `narrowing-cast-audit`, L8 `exhaustive-tier-match`, L9
+//!    `pub-api-doc-coverage`) over every `crates/*/src` tree, filtered
+//!    through the committed `xtask-baseline.json` (expired entries fail),
 //! 2. `cargo fmt --check` over the workspace crates,
 //! 3. `cargo clippy --all-targets -- -D warnings` over the workspace crates.
+//!
+//! `cargo xtask check --json` emits machine-readable diagnostics on stdout
+//! (schema in DESIGN.md §8) with human progress diverted to stderr.
 //!
 //! `cargo xtask lint <path>...` runs only the custom lints over the given
 //! files or directories (used by the fixture self-tests and for spot checks).
 //!
+//! `cargo xtask graph [--json]` prints the workspace symbol/call graph.
+//!
 //! Any violation or failed gate exits nonzero with `file:line` diagnostics.
 
+mod baseline;
+mod graph;
+mod json;
 mod lexer;
 mod lints;
+mod parser;
+mod syntax_lints;
 mod walk;
 
 #[cfg(test)]
 mod fixture_tests;
 
-use lints::{scan_source, FileContext, Violation};
+use json::Json;
+use lints::{scan_source, FileContext, Lint, Violation};
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
@@ -41,8 +56,10 @@ fn main() -> ExitCode {
         Some((c, rest)) => (c.as_str(), rest),
         None => ("check", &[][..]),
     };
+    let json_mode = rest.iter().any(|a| a == "--json");
     match cmd {
-        "check" => cmd_check(),
+        "check" => cmd_check(json_mode),
+        "graph" => cmd_graph(json_mode),
         "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -60,7 +77,10 @@ fn print_usage() {
     eprintln!(
         "usage: cargo xtask <command>\n\n\
          commands:\n  \
-         check            run custom lints + `cargo fmt --check` + clippy gate\n  \
+         check [--json]   run the nine custom lints (baseline-filtered) +\n                   \
+         `cargo fmt --check` + clippy gate; --json emits the\n                   \
+         diagnostics document (DESIGN.md \u{a7}8) on stdout\n  \
+         graph [--json]   print the workspace symbol/call graph\n  \
          lint <path>...   run only the custom lints over the given paths\n  \
          help             show this message"
     );
@@ -69,31 +89,33 @@ fn print_usage() {
 /// Lints the given files/directories and prints violations. Returns how many,
 /// or `None` if a path could not be read (already reported to stderr).
 fn lint_paths(paths: &[PathBuf]) -> Option<usize> {
-    let mut violations: Vec<Violation> = Vec::new();
-    for path in paths {
-        let files = match walk::rust_files(path) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("error: cannot read {}: {e}", path.display());
-                return None;
-            }
-        };
-        for file in files {
-            let src = match std::fs::read_to_string(&file) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: cannot read {}: {e}", file.display());
-                    return None;
-                }
-            };
-            let ctx = FileContext::from_path(&file);
-            violations.extend(scan_source(&file, &src, &ctx));
+    let violations = match collect_violations(paths) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return None;
         }
-    }
+    };
     for v in &violations {
         println!("{v}");
     }
     Some(violations.len())
+}
+
+/// Scans every Rust file under the given paths with all applicable lints.
+fn collect_violations(paths: &[PathBuf]) -> Result<Vec<Violation>, String> {
+    let mut violations: Vec<Violation> = Vec::new();
+    for path in paths {
+        let files =
+            walk::rust_files(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        for file in files {
+            let src = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let ctx = FileContext::from_path(&file);
+            violations.extend(scan_source(&file, &src, &ctx));
+        }
+    }
+    Ok(violations)
 }
 
 fn cmd_lint(args: &[String]) -> ExitCode {
@@ -115,12 +137,25 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_check() -> ExitCode {
+/// Human progress goes to stdout normally, stderr under `--json` (stdout is
+/// reserved for the diagnostics document there).
+macro_rules! progress {
+    ($json_mode:expr, $($arg:tt)*) => {
+        if $json_mode {
+            eprintln!($($arg)*);
+        } else {
+            println!($($arg)*);
+        }
+    };
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_check(json_mode: bool) -> ExitCode {
     let root = walk::repo_root();
     let mut failed = false;
 
-    // 1. Custom lints.
-    println!("==> custom lints (money-safety, no-panic-in-libs, seeded-rng-only, lock-discipline)");
+    // 1. Custom lints, filtered through the committed baseline.
+    progress!(json_mode, "==> custom lints (L1-L9, baseline: xtask-baseline.json)");
     let files = match walk::workspace_lint_files(&root) {
         Ok(f) => f,
         Err(e) => {
@@ -128,39 +163,280 @@ fn cmd_check() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match lint_paths(&files) {
-        Some(0) => println!("==> custom lints passed ({} files)", files.len()),
-        Some(n) => {
-            eprintln!("==> custom lints FAILED: {n} violation(s)");
-            failed = true;
+    let violations = match collect_violations(&files) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
-        None => {
-            eprintln!("==> custom lints FAILED: unreadable source file");
-            failed = true;
+    };
+    let base = match baseline::Baseline::load(&root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: baseline unreadable: {e}");
+            return ExitCode::FAILURE;
         }
+    };
+    let today = baseline::today_utc();
+    let applied = base.apply(&violations, &today);
+    let fresh: Vec<&Violation> = violations
+        .iter()
+        .zip(&applied.matched)
+        .filter(|(_, m)| m.is_none())
+        .map(|(v, _)| v)
+        .collect();
+    let baselined = violations.len() - fresh.len();
+    for v in &fresh {
+        eprintln!("{v}");
+    }
+    for e in &applied.expired {
+        eprintln!(
+            "error: baseline entry expired {}: {} in {} ({})",
+            e.expires, e.lint, e.file, e.reason
+        );
+    }
+    for e in &applied.unused {
+        eprintln!(
+            "warning: unused baseline entry: {} in {} (expires {})",
+            e.lint, e.file, e.expires
+        );
+    }
+    let lints_ok = fresh.is_empty() && applied.expired.is_empty();
+    if lints_ok {
+        progress!(
+            json_mode,
+            "==> custom lints passed ({} files, {baselined} baselined)",
+            files.len()
+        );
+    } else {
+        eprintln!(
+            "==> custom lints FAILED: {} fresh violation(s), {} expired baseline entr(ies)",
+            fresh.len(),
+            applied.expired.len()
+        );
+        failed = true;
     }
 
     // 2. rustfmt gate.
-    println!("==> cargo fmt --check");
-    if !run_cargo(&root, &fmt_args()) {
+    progress!(json_mode, "==> cargo fmt --check");
+    let fmt_ok = run_cargo(&root, &fmt_args(), json_mode);
+    if !fmt_ok {
         eprintln!("==> rustfmt gate FAILED (run `cargo fmt` to fix)");
         failed = true;
     }
 
     // 3. clippy gate, deny warnings.
-    println!("==> cargo clippy --all-targets -- -D warnings");
-    if !run_cargo(&root, &clippy_args()) {
+    progress!(json_mode, "==> cargo clippy --all-targets -- -D warnings");
+    let clippy_ok = run_cargo(&root, &clippy_args(), json_mode);
+    if !clippy_ok {
         eprintln!("==> clippy gate FAILED");
         failed = true;
     }
 
+    if json_mode {
+        let doc =
+            diagnostics_json(&root, files.len(), &violations, &applied, fmt_ok, clippy_ok, !failed);
+        print!("{}", doc.render());
+    }
     if failed {
         eprintln!("xtask check: FAILED");
         ExitCode::FAILURE
     } else {
-        println!("xtask check: all gates passed");
+        progress!(json_mode, "xtask check: all gates passed");
         ExitCode::SUCCESS
     }
+}
+
+/// Assembles the `cargo xtask check --json` document (schema: DESIGN.md §8).
+fn diagnostics_json(
+    root: &Path,
+    file_count: usize,
+    violations: &[Violation],
+    applied: &baseline::Applied,
+    fmt_ok: bool,
+    clippy_ok: bool,
+    ok: bool,
+) -> Json {
+    let rel = |file: &str| {
+        let root_prefix = format!("{}/", root.display());
+        Json::Str(file.strip_prefix(&root_prefix).unwrap_or(file).to_string())
+    };
+    let entry_json = |e: &baseline::Entry| {
+        Json::obj([
+            ("lint", Json::Str(e.lint.clone())),
+            ("file", Json::Str(e.file.clone())),
+            ("reason", Json::Str(e.reason.clone())),
+            ("expires", Json::Str(e.expires.clone())),
+        ])
+    };
+    let fresh = applied.matched.iter().filter(|m| m.is_none()).count();
+    Json::obj([
+        ("version", Json::Num(1)),
+        ("lints", Json::Arr(Lint::all().iter().map(|l| Json::Str(l.name().to_string())).collect())),
+        (
+            "violations",
+            Json::Arr(
+                violations
+                    .iter()
+                    .zip(&applied.matched)
+                    .map(|(v, m)| {
+                        Json::obj([
+                            ("lint", Json::Str(v.lint.name().to_string())),
+                            ("file", rel(&v.file)),
+                            ("line", Json::Num(i64::try_from(v.line).unwrap_or(i64::MAX))),
+                            ("message", Json::Str(v.message.clone())),
+                            ("baselined", Json::Bool(m.is_some())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "baseline",
+            Json::obj([
+                ("path", Json::Str("xtask-baseline.json".to_string())),
+                ("expired", Json::Arr(applied.expired.iter().map(entry_json).collect())),
+                ("unused", Json::Arr(applied.unused.iter().map(entry_json).collect())),
+            ]),
+        ),
+        (
+            "gates",
+            Json::obj([
+                ("lints", Json::Bool(fresh == 0 && applied.expired.is_empty())),
+                ("fmt", Json::Bool(fmt_ok)),
+                ("clippy", Json::Bool(clippy_ok)),
+            ]),
+        ),
+        (
+            "summary",
+            Json::obj([
+                ("files", Json::Num(i64::try_from(file_count).unwrap_or(i64::MAX))),
+                ("total", Json::Num(i64::try_from(violations.len()).unwrap_or(i64::MAX))),
+                ("fresh", Json::Num(i64::try_from(fresh).unwrap_or(i64::MAX))),
+                (
+                    "baselined",
+                    Json::Num(i64::try_from(violations.len() - fresh).unwrap_or(i64::MAX)),
+                ),
+                ("ok", Json::Bool(ok)),
+            ]),
+        ),
+    ])
+}
+
+/// Builds the workspace symbol graph and prints the summary (or, with
+/// `--json`, the full graph document: per-crate stats, the public API
+/// surface, and every resolved/unresolved call edge).
+fn cmd_graph(json_mode: bool) -> ExitCode {
+    let root = walk::repo_root();
+    let mut sources: Vec<(String, String, lexer::Lexed)> = Vec::new();
+    for (dir, _) in graph::CRATE_LIB_NAMES {
+        let crate_src = root.join("crates").join(dir).join("src");
+        let files = match walk::rust_files(&crate_src) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", crate_src.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        for file in files {
+            let Ok(src) = std::fs::read_to_string(&file) else {
+                eprintln!("error: cannot read {}", file.display());
+                return ExitCode::FAILURE;
+            };
+            let display = file
+                .strip_prefix(&root)
+                .map_or_else(|_| file.display().to_string(), |p| p.display().to_string());
+            sources.push((dir.to_string(), display, lexer::lex(&src)));
+        }
+    }
+    let parsed_items: Vec<Vec<parser::Item>> = sources
+        .iter()
+        .map(|(_, _, lexed)| parser::parse_items(lexed, &lints::mark_regions(&lexed.toks)))
+        .collect();
+    let parsed: Vec<graph::ParsedFile<'_>> = sources
+        .iter()
+        .zip(&parsed_items)
+        .map(|((krate, file, lexed), items)| graph::ParsedFile {
+            krate: krate.clone(),
+            file: file.clone(),
+            lexed,
+            items,
+        })
+        .collect();
+    let g = graph::SymbolGraph::build(&parsed);
+    if json_mode {
+        print!("{}", graph_json(&g).render());
+    } else {
+        print!("{}", g.summary());
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `cargo xtask graph --json` document.
+fn graph_json(g: &graph::SymbolGraph) -> Json {
+    let crates = g
+        .crates
+        .iter()
+        .map(|(krate, stats)| {
+            let deps = g
+                .crate_deps
+                .get(krate)
+                .map(|d| d.iter().map(|s| Json::Str(s.clone())).collect())
+                .unwrap_or_default();
+            let mut pub_api: Vec<&graph::Def> = g
+                .defs
+                .values()
+                .flatten()
+                .filter(|d| d.krate == *krate && d.is_pub && !d.in_test)
+                .collect();
+            pub_api.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+            (
+                krate.clone(),
+                Json::obj([
+                    ("items", Json::Num(i64::try_from(stats.items).unwrap_or(0))),
+                    ("fns", Json::Num(i64::try_from(stats.fns).unwrap_or(0))),
+                    ("pub_items", Json::Num(i64::try_from(stats.pub_items).unwrap_or(0))),
+                    ("pub_documented", Json::Num(i64::try_from(stats.pub_documented).unwrap_or(0))),
+                    ("uses", Json::Arr(deps)),
+                    (
+                        "pub_api",
+                        Json::Arr(
+                            pub_api
+                                .iter()
+                                .map(|d| {
+                                    Json::obj([
+                                        ("qualified", Json::Str(d.qualified.clone())),
+                                        ("kind", Json::Str(d.kind.label().to_string())),
+                                        ("file", Json::Str(d.file.clone())),
+                                        ("line", Json::Num(i64::try_from(d.line).unwrap_or(0))),
+                                        ("documented", Json::Bool(d.has_doc)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    let edges = g
+        .edges
+        .iter()
+        .map(|e| {
+            Json::obj([
+                ("from", Json::Str(e.from.clone())),
+                ("from_crate", Json::Str(e.from_crate.clone())),
+                ("to", Json::Str(e.to_name.clone())),
+                ("to_crate", e.to_crate.as_ref().map_or(Json::Null, |c| Json::Str(c.clone()))),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("version", Json::Num(1)),
+        ("crates", Json::Obj(crates)),
+        ("edges", Json::Arr(edges)),
+        ("cross_crate_edges", Json::Num(i64::try_from(g.cross_crate_edges()).unwrap_or(0))),
+    ])
 }
 
 fn fmt_args() -> Vec<String> {
@@ -187,13 +463,31 @@ fn clippy_args() -> Vec<String> {
     args
 }
 
-fn run_cargo(root: &Path, args: &[String]) -> bool {
+/// Runs a cargo subcommand. Under `--json` the child's stdout is captured
+/// and replayed on stderr so the diagnostics document owns stdout.
+fn run_cargo(root: &Path, args: &[String], json_mode: bool) -> bool {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
-    match Command::new(cargo).args(args).current_dir(root).status() {
-        Ok(status) => status.success(),
-        Err(e) => {
-            eprintln!("error: failed to spawn cargo {}: {e}", args.join(" "));
-            false
+    let mut cmd = Command::new(cargo);
+    cmd.args(args).current_dir(root);
+    if json_mode {
+        match cmd.output() {
+            Ok(out) => {
+                eprint!("{}", String::from_utf8_lossy(&out.stdout));
+                eprint!("{}", String::from_utf8_lossy(&out.stderr));
+                out.status.success()
+            }
+            Err(e) => {
+                eprintln!("error: failed to spawn cargo {}: {e}", args.join(" "));
+                false
+            }
+        }
+    } else {
+        match cmd.status() {
+            Ok(status) => status.success(),
+            Err(e) => {
+                eprintln!("error: failed to spawn cargo {}: {e}", args.join(" "));
+                false
+            }
         }
     }
 }
