@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use minicost::features::FeatureConfig;
-use minicost::policy::RlPolicy;
+use minicost::policy::{DecisionContext, RlPolicy};
 use minicost::prelude::*;
 use rl::NetSpec;
 use std::hint::black_box;
@@ -12,6 +12,7 @@ use std::hint::black_box;
 fn bench_per_file_decision(c: &mut Criterion) {
     let trace =
         Trace::generate(&TraceConfig { files: 64, days: 21, seed: 9, ..TraceConfig::default() });
+    let model = CostModel::new(PricingPolicy::paper_2020());
     let features = FeatureConfig::default();
 
     let mut group = c.benchmark_group("decision_per_file");
@@ -28,9 +29,18 @@ fn bench_per_file_decision(c: &mut Criterion) {
         };
         let actor = spec.build_actor(3);
         let mut policy = RlPolicy::from_params(spec, &actor.param_vector(), features);
-        let file = &trace.files[0];
+        // A one-file batch: the deployed agent's per-file decision path.
+        let batch = [0usize];
+        let current = [Tier::Cool];
+        let ctx = DecisionContext {
+            day: 14,
+            trace: &trace,
+            model: &model,
+            batch: &batch,
+            current: &current,
+        };
         group.bench_with_input(BenchmarkId::new("minicost", width), &width, |b, _| {
-            b.iter(|| black_box(policy.decide_file(black_box(file), 14, Tier::Cool)))
+            b.iter(|| black_box(policy.decide_one(black_box(&ctx), 0)))
         });
     }
 

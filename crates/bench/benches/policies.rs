@@ -38,7 +38,7 @@ fn bench_policy_decisions(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_35d");
     for files in [100usize, 1_000] {
         let (trace, model) = setup(files);
-        let cfg = SimConfig::default();
+        let cfg = SimConfig::builder().seed(7).workers(1).build().unwrap();
         group.bench_with_input(BenchmarkId::new("greedy", files), &files, |b, _| {
             b.iter(|| simulate(&trace, &model, &mut GreedyPolicy, &cfg))
         });

@@ -48,7 +48,7 @@ pub fn run(params: &Params) -> Report {
     let model = crate::experiment_model();
     let split = trace.split(0.8, params.seed);
     let test = &split.test;
-    let sim_cfg = SimConfig::default();
+    let sim_cfg = crate::experiment_sim_config(params.seed, minicost::default_workers());
 
     let agent = MiniCost::train(
         &split.train,

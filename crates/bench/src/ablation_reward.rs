@@ -56,7 +56,7 @@ pub fn run(params: &Params) -> Report {
     let trace = Trace::generate(&crate::experiment_trace(params.files, params.days, params.seed));
     let model = crate::experiment_model();
     let split = trace.split(0.8, params.seed);
-    let sim_cfg = SimConfig::default();
+    let sim_cfg = crate::experiment_sim_config(params.seed, minicost::default_workers());
     let test = &split.test;
 
     let hot = simulate(test, &model, &mut HotPolicy, &sim_cfg).total_cost();

@@ -53,6 +53,15 @@ impl Args {
         self.get_parsed(name).unwrap_or(default)
     }
 
+    /// The `--workers` flag shared by the figure binaries: simulation shard
+    /// count, defaulting to the `MINICOST_WORKERS` environment variable
+    /// (else 1) and clamped to ≥ 1. Sharding never changes results — only
+    /// wall-clock (see DESIGN.md §9).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.usize("workers", minicost::default_workers()).max(1)
+    }
+
     fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Option<T>
     where
         T::Err: std::fmt::Debug,
@@ -81,6 +90,13 @@ mod tests {
     fn defaults_apply_when_missing() {
         let a = args(&[]);
         assert_eq!(a.usize("files", 42), 42);
+    }
+
+    #[test]
+    fn workers_flag_is_clamped() {
+        assert_eq!(args(&["--workers", "4"]).workers(), 4);
+        assert_eq!(args(&["--workers", "0"]).workers(), 1);
+        assert!(args(&[]).workers() >= 1);
     }
 
     #[test]

@@ -22,12 +22,14 @@ fn main() {
         seed: 2020,
     })
     .emit();
+    let workers = args.workers();
     let fig7 = b::fig7_total_cost::Params {
         files: s(10_000),
         days: 35,
         seed: 2020,
         updates: u(150_000),
         width: 64,
+        workers,
     };
     b::fig7_total_cost::run(&fig7).emit();
     b::fig8_bucket_cost::run(&fig7).emit();
@@ -50,6 +52,7 @@ fn main() {
         seed: 2020,
         updates: u(2_000),
         width: 64,
+        workers,
     })
     .emit();
     b::fig13_aggregation::run(&b::fig13_aggregation::Params {
@@ -60,6 +63,7 @@ fn main() {
         width: 64,
         groups: s(600).max(60),
         psi: s(300).max(30),
+        workers,
     })
     .emit();
     b::ablation_reward::run(&b::ablation_reward::Params {

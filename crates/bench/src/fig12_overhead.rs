@@ -23,6 +23,9 @@ pub struct Params {
     pub updates: u64,
     /// Network width.
     pub width: usize,
+    /// Simulation shard count (`--workers`); the decision columns report
+    /// the parallel critical path, `par_speedup` the gain over serial.
+    pub workers: usize,
 }
 
 impl Params {
@@ -35,6 +38,7 @@ impl Params {
             seed: args.u64("seed", 2020),
             updates: args.u64("updates", 2_000),
             width: args.usize("width", 64),
+            workers: args.workers(),
         }
     }
 }
@@ -44,7 +48,7 @@ impl Params {
 pub fn run(params: &Params) -> Report {
     let trace = Trace::generate(&crate::experiment_trace(params.files, params.days, params.seed));
     let model = crate::experiment_model();
-    let sim_cfg = SimConfig::default();
+    let sim_cfg = crate::experiment_sim_config(params.seed, params.workers);
 
     // A briefly-trained agent: decision latency is independent of training
     // quality (same forward pass).
@@ -54,32 +58,42 @@ pub fn run(params: &Params) -> Report {
         &crate::experiment_training(params.updates, params.width, params.seed),
     );
 
-    let runs = vec![
-        simulate(&trace, &model, &mut HotPolicy, &sim_cfg),
-        simulate(&trace, &model, &mut ColdPolicy, &sim_cfg),
-        simulate(&trace, &model, &mut GreedyPolicy, &sim_cfg),
-        simulate(&trace, &model, &mut agent.policy(), &sim_cfg),
+    let mut policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(HotPolicy),
+        Box::new(ColdPolicy),
+        Box::new(GreedyPolicy),
+        Box::new(agent.policy()),
     ];
+    let runs: Vec<SimResult> = policies
+        .iter_mut()
+        .map(|policy| simulate(&trace, &model, policy.as_mut(), &sim_cfg))
+        .collect();
 
     let mut report = Report::new(
         "fig12",
         "per-day decision overhead (ms) over the horizon",
-        &["policy", "mean_ms_per_day", "max_ms_per_day", "us_per_file", "total_ms"],
+        &["policy", "mean_ms_per_day", "max_ms_per_day", "us_per_file", "total_ms", "par_speedup"],
     );
     for run in &runs {
         let mean =
             run.decision_millis.iter().sum::<f64>() / run.decision_millis.len().max(1) as f64;
         let max = run.decision_millis.iter().copied().fold(0.0, f64::max);
+        let latency = decision_latency(run);
         report.push_row(vec![
             run.policy_name.clone(),
             format!("{mean:.3}"),
             format!("{max:.3}"),
             format!("{:.2}", mean * 1e3 / params.files as f64),
             format!("{:.1}", run.total_decision_millis()),
+            format!("{:.2}x", latency.speedup()),
         ]);
     }
     report.note("paper Fig. 12: Hot/Cold near zero; Greedy and MiniCost comparable");
     report.note("paper claim: MiniCost decides each file in < 1 ms — see us_per_file");
+    report.note(format!(
+        "decision columns are the critical path over {} shard(s); par_speedup = serial/critical",
+        sim_cfg.workers
+    ));
     report
 }
 
@@ -89,7 +103,8 @@ mod tests {
 
     #[test]
     fn overhead_shape_matches_paper() {
-        let report = run(&Params { files: 2_000, days: 10, seed: 2, updates: 100, width: 16 });
+        let report =
+            run(&Params { files: 2_000, days: 10, seed: 2, updates: 100, width: 16, workers: 1 });
         assert_eq!(report.rows.len(), 4);
         let mean_of = |name: &str| -> f64 {
             report.rows.iter().find(|r| r[0] == name).unwrap()[1].parse().unwrap()

@@ -26,6 +26,8 @@ pub struct Params {
     pub groups: usize,
     /// Top-Ψ groups aggregated per round.
     pub psi: usize,
+    /// Simulation shard count (`--workers`); changes wall-clock only.
+    pub workers: usize,
 }
 
 impl Params {
@@ -40,6 +42,7 @@ impl Params {
             width: args.usize("width", 64),
             groups: args.usize("groups", 600),
             psi: args.usize("psi", 300),
+            workers: args.workers(),
         }
     }
 }
@@ -52,7 +55,7 @@ fn weekly_costs(
     policy: &mut dyn Policy,
     weeks: usize,
 ) -> Vec<Money> {
-    let sim_cfg = SimConfig::default();
+    let sim_cfg = crate::experiment_sim_config(0, minicost::default_workers());
     let mut cumulative = Vec::with_capacity(weeks);
     let mut total = Money::ZERO;
     for week in 0..weeks {
@@ -73,7 +76,7 @@ fn weekly_costs_with_aggregation(
     psi: usize,
     weeks: usize,
 ) -> Vec<Money> {
-    let sim_cfg = SimConfig::default();
+    let sim_cfg = crate::experiment_sim_config(0, minicost::default_workers());
     let mut planner = AggregationPlanner::new(psi, groups.len());
     let mut cumulative = Vec::with_capacity(weeks);
     let mut total = Money::ZERO;
@@ -127,7 +130,7 @@ pub fn run(params: &Params) -> Report {
     // Optimal replans per week window inside weekly_costs via a fresh plan:
     // approximate by planning on the full horizon then windowing — the
     // planner is per-file DP, so plan weekly exactly:
-    let sim_cfg = SimConfig::default();
+    let sim_cfg = crate::experiment_sim_config(params.seed, params.workers);
     let mut optimal_cum = Vec::with_capacity(weeks);
     let mut total = Money::ZERO;
     for week in 0..weeks {
@@ -200,6 +203,7 @@ mod tests {
             width: 8,
             groups: 30,
             psi: 15,
+            workers: 2,
         });
         assert_eq!(report.rows.len(), 2);
     }

@@ -21,6 +21,8 @@ pub struct Params {
     pub updates: u64,
     /// Network width (filters and hidden neurons).
     pub width: usize,
+    /// Simulation shard count (`--workers`); changes wall-clock only.
+    pub workers: usize,
 }
 
 impl Params {
@@ -33,6 +35,7 @@ impl Params {
             seed: args.u64("seed", 2020),
             updates: args.u64("updates", 150_000),
             width: args.usize("width", 64),
+            workers: args.workers(),
         }
     }
 }
@@ -55,16 +58,20 @@ pub fn evaluate(params: &Params) -> Fig7Runs {
     let train_cfg = crate::experiment_training(params.updates, params.width, params.seed);
     let agent = MiniCost::train(&split.train, &model, &train_cfg);
 
-    let sim_cfg = SimConfig::default();
+    let sim_cfg = crate::experiment_sim_config(params.seed, params.workers);
     let test = split.test;
-    let mut optimal = OptimalPolicy::plan(&test, &model, sim_cfg.initial_tier);
-    let runs = vec![
-        simulate(&test, &model, &mut HotPolicy, &sim_cfg),
-        simulate(&test, &model, &mut ColdPolicy, &sim_cfg),
-        simulate(&test, &model, &mut GreedyPolicy, &sim_cfg),
-        simulate(&test, &model, &mut agent.policy(), &sim_cfg),
-        simulate(&test, &model, &mut optimal, &sim_cfg),
+    // One uniform `dyn Policy` path for all five strategies, in paper order.
+    let mut policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(HotPolicy),
+        Box::new(ColdPolicy),
+        Box::new(GreedyPolicy),
+        Box::new(agent.policy()),
+        Box::new(OptimalPolicy::plan(&test, &model, sim_cfg.initial_tier)),
     ];
+    let runs = policies
+        .iter_mut()
+        .map(|policy| simulate(&test, &model, policy.as_mut(), &sim_cfg))
+        .collect();
     Fig7Runs { runs, test }
 }
 
@@ -117,7 +124,7 @@ mod tests {
         // must order Cold > Hot > Greedy >= Optimal on the standard trace.
         let trace = Trace::generate(&crate::experiment_trace(1_500, 21, 5));
         let model = crate::experiment_model();
-        let cfg = SimConfig::default();
+        let cfg = crate::experiment_sim_config(5, minicost::default_workers());
         let hot = simulate(&trace, &model, &mut HotPolicy, &cfg).total_cost();
         let cold = simulate(&trace, &model, &mut ColdPolicy, &cfg).total_cost();
         let greedy = simulate(&trace, &model, &mut GreedyPolicy, &cfg).total_cost();
@@ -136,7 +143,8 @@ mod tests {
     #[test]
     fn report_has_weekly_checkpoints() {
         // Tiny training budget: checks plumbing, not learning quality.
-        let report = run(&Params { files: 300, days: 14, seed: 3, updates: 200, width: 8 });
+        let report =
+            run(&Params { files: 300, days: 14, seed: 3, updates: 200, width: 8, workers: 2 });
         assert_eq!(report.rows.len(), 2); // days 7 and 14
         assert_eq!(report.header.len(), 6);
     }

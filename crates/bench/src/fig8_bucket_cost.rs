@@ -43,7 +43,8 @@ mod tests {
 
     #[test]
     fn bucket_rows_cover_all_policies() {
-        let report = run(&Params { files: 300, days: 14, seed: 3, updates: 200, width: 8 });
+        let report =
+            run(&Params { files: 300, days: 14, seed: 3, updates: 200, width: 8, workers: 2 });
         assert_eq!(report.rows.len(), 5);
         assert_eq!(report.header.len(), 7);
         // Optimal never exceeds hot in any bucket.

@@ -40,6 +40,19 @@ pub fn experiment_model() -> CostModel {
     CostModel::new(PricingPolicy::paper_2020())
 }
 
+/// The experiment-standard simulation configuration, built through the
+/// validating [`SimConfig`] builder: paper defaults (initial tier Hot,
+/// daily decisions), the run's seed, and the requested shard count.
+///
+/// Panics on an invalid combination — right for a lab harness.
+#[must_use]
+pub fn experiment_sim_config(seed: u64, workers: usize) -> SimConfig {
+    match SimConfig::builder().seed(seed).workers(workers).build() {
+        Ok(cfg) => cfg,
+        Err(e) => panic!("experiment sim config: {e}"),
+    }
+}
+
 /// The experiment-standard trace configuration at a given scale.
 #[must_use]
 pub fn experiment_trace(files: usize, days: usize, seed: u64) -> TraceConfig {

@@ -52,7 +52,8 @@ const USAGE: &str = "usage:
   minicost analyze  --trace trace.csv
   minicost train    --trace trace.csv [--updates U] [--width W] [--seed S] \\
                     [--pricing paper|azure|aws] --out agent.json
-  minicost evaluate --trace trace.csv --agent agent.json [--pricing ...]";
+  minicost evaluate --trace trace.csv --agent agent.json [--pricing ...] \\
+                    [--workers W]";
 
 type Flags = HashMap<String, String>;
 
@@ -170,18 +171,24 @@ fn evaluate(flags: &Flags) -> Result<(), String> {
     let agent_path = required(flags, "agent")?;
     let agent = MiniCost::load(Path::new(agent_path)).map_err(|e| format!("{agent_path}: {e}"))?;
     let seed = flag(flags, "seed", 0u64)?;
+    let workers = flag(flags, "workers", default_workers())?;
     let split = trace.split(0.8, seed);
     let test = &split.test;
-    let sim_cfg = SimConfig::default();
+    let sim_cfg =
+        SimConfig::builder().seed(seed).workers(workers).build().map_err(|e| e.to_string())?;
 
-    let mut optimal = OptimalPolicy::plan(test, &model, sim_cfg.initial_tier);
-    let runs = vec![
-        simulate(test, &model, &mut HotPolicy, &sim_cfg),
-        simulate(test, &model, &mut ColdPolicy, &sim_cfg),
-        simulate(test, &model, &mut GreedyPolicy, &sim_cfg),
-        simulate(test, &model, &mut agent.policy(), &sim_cfg),
-        simulate(test, &model, &mut optimal, &sim_cfg),
+    // All five comparison strategies through one `dyn Policy` code path.
+    let mut policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(HotPolicy),
+        Box::new(ColdPolicy),
+        Box::new(GreedyPolicy),
+        Box::new(agent.policy()),
+        Box::new(OptimalPolicy::plan(test, &model, sim_cfg.initial_tier)),
     ];
+    let runs: Vec<SimResult> = policies
+        .iter_mut()
+        .map(|policy| simulate(test, &model, policy.as_mut(), &sim_cfg))
+        .collect();
     let reference = runs.last().expect("non-empty").total_cost();
     println!("{} held-out files x {} days under {}:", test.len(), test.days, model.policy().name);
     println!("{:<10} {:>14} {:>11} {:>9}", "policy", "total cost", "vs optimal", "changes");

@@ -16,6 +16,9 @@
 //!
 //! * [`sim`] — the day-stepping billing simulator; runs any [`policy::Policy`]
 //!   over a trace and produces exact [`pricing::Money`] ledgers.
+//! * [`engine`] — the sharded parallel engine behind [`sim::simulate`]:
+//!   deterministic fleet partitioning, per-shard accumulators, and the
+//!   fixed-order merge that keeps parallel runs bit-identical.
 //! * [`policy`] — the paper's five comparison strategies: `Hot`, `Cold`,
 //!   `Greedy`, `Optimal` (exact per-file DP; provably the brute-force
 //!   optimum), and the trained `RlPolicy`.
@@ -56,6 +59,7 @@
 #![cfg_attr(test, allow(clippy::float_cmp))]
 
 pub mod aggregate;
+pub mod engine;
 pub mod features;
 pub mod mdp;
 pub mod metrics;
@@ -69,16 +73,24 @@ pub mod train;
 /// One-stop imports for examples and experiment harnesses.
 pub mod prelude {
     pub use crate::aggregate::{apply_aggregation, AggregationPlanner, Omega};
+    pub use crate::engine::{
+        merge_shards, par_map_indices, partition, run_shard, shard_of, ShardRun,
+    };
     pub use crate::features::FeatureConfig;
-    pub use crate::mdp::{RewardConfig, RewardKind, TieringEnv, TieringEnvConfig};
-    pub use crate::metrics::{bucket_costs, normalized_costs, OverheadTimer};
+    pub use crate::mdp::{OracleTables, RewardConfig, RewardKind, TieringEnv, TieringEnvConfig};
+    pub use crate::metrics::{
+        bucket_costs, decision_latency, normalized_costs, DecisionLatency, OverheadTimer,
+    };
     pub use crate::multi::{optimal_location_plan, Location, MultiCspModel};
     pub use crate::optimal::{brute_force_plan, optimal_plan, suffix_values};
     pub use crate::policy::{
-        ColdPolicy, GreedyPolicy, HotPolicy, OptimalPolicy, Policy, RlPolicy, SingleTierPolicy,
+        ColdPolicy, DecisionContext, GreedyPolicy, HotPolicy, OptimalPolicy, Policy, RlPolicy,
+        SingleTierPolicy,
     };
     pub use crate::predictive::PredictivePolicy;
-    pub use crate::sim::{simulate, SimConfig, SimResult};
+    pub use crate::sim::{
+        default_workers, simulate, SimConfig, SimConfigBuilder, SimConfigError, SimResult,
+    };
     pub use crate::train::{MiniCost, MiniCostConfig};
     pub use pricing::{CostModel, Money, PricingPolicy, Tier};
     pub use tracegen::{Trace, TraceConfig};

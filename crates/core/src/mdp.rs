@@ -132,6 +132,14 @@ impl Default for TieringEnvConfig {
     }
 }
 
+/// Per-file oracle tables: `tables[file_ix]` is the suffix-value DP of
+/// [`suffix_values`] (or `None` when the oracle is disabled). Computing
+/// them is the dominant cost of environment construction, so the training
+/// pipeline builds them once — in parallel, via
+/// [`crate::engine::par_map_indices`] — and shares one `Arc` across all
+/// A3C workers ([`TieringEnv::with_oracle_tables`]).
+pub type OracleTables = Vec<Option<Vec<[Money; TIER_COUNT]>>>;
+
 /// The storage-tiering MDP over a trace.
 ///
 /// Each episode samples one file and a start day, then walks `episode_len`
@@ -143,7 +151,7 @@ pub struct TieringEnv {
     trace: Arc<Trace>,
     model: Arc<CostModel>,
     cfg: TieringEnvConfig,
-    oracle: Vec<Option<Vec<[Money; TIER_COUNT]>>>,
+    oracle: Arc<OracleTables>,
     rng: StdRng,
     // Episode state.
     file_ix: usize,
@@ -157,6 +165,28 @@ impl TieringEnv {
     /// one episode.
     #[must_use]
     pub fn new(trace: Arc<Trace>, model: Arc<CostModel>, cfg: TieringEnvConfig) -> TieringEnv {
+        let oracle: Arc<OracleTables> = if cfg.with_oracle {
+            Arc::new(trace.files.iter().map(|f| Some(suffix_values(f, &model))).collect())
+        } else {
+            Arc::new(vec![None; trace.files.len()])
+        };
+        TieringEnv::with_oracle_tables(trace, model, cfg, oracle)
+    }
+
+    /// Creates an environment around precomputed, shared oracle tables —
+    /// the multi-worker path: tables are computed once and every worker's
+    /// environment clones the `Arc` instead of redoing the `O(files × days)`
+    /// suffix DP. `cfg.with_oracle` is ignored; the tables passed in decide.
+    ///
+    /// Panics if the trace is empty, shorter than one episode, or if the
+    /// table count does not match the file count.
+    #[must_use]
+    pub fn with_oracle_tables(
+        trace: Arc<Trace>,
+        model: Arc<CostModel>,
+        cfg: TieringEnvConfig,
+        oracle: Arc<OracleTables>,
+    ) -> TieringEnv {
         assert!(!trace.is_empty(), "trace must contain files");
         assert!(cfg.episode_len > 0, "episode_len must be positive");
         assert!(
@@ -165,11 +195,7 @@ impl TieringEnv {
             trace.days,
             cfg.episode_len
         );
-        let oracle = if cfg.with_oracle {
-            trace.files.iter().map(|f| Some(suffix_values(f, &model))).collect()
-        } else {
-            vec![None; trace.files.len()]
-        };
+        assert_eq!(oracle.len(), trace.files.len(), "one oracle table per file");
         let seed = cfg.seed;
         let mut env = TieringEnv {
             trace,
@@ -189,7 +215,7 @@ impl TieringEnv {
     fn reset_episode(&mut self) -> Vec<f64> {
         self.file_ix = self.rng.random_range(0..self.trace.files.len());
         // Episodes start at day >= 1: the day-0 state is all padding and
-        // identical across files (see RlPolicy::decide_file), so training
+        // identical across files (see RlPolicy::decide_one), so training
         // on it would only teach a blind majority action.
         let latest_start = self.trace.days - self.cfg.episode_len;
         self.day =

@@ -1,14 +1,24 @@
 //! The paper's five data-storage-type assignment strategies (§6.1):
 //! *Hot*, *Cold*, *Greedy*, *Optimal*, and the RL-driven *MiniCost* policy.
+//!
+//! The trait is **batch-first**: the simulator hands every policy a
+//! [`DecisionContext`] describing a *batch* of files (identified by their
+//! global indices into the trace) and asks for one tier per batch entry.
+//! A batch may be the whole fleet (single-threaded runs) or one shard of it
+//! (the parallel engine in [`crate::engine`]). The sharding determinism
+//! contract (DESIGN.md §9) requires every policy's decision for a file to
+//! depend only on that file, the day, and the file's own current tier —
+//! never on which other files share the batch.
 
 use crate::features::FeatureConfig;
 use crate::optimal::optimal_plan;
 use pricing::{CostModel, Money, Tier};
 use rl::actor_critic::argmax;
 use rl::{NetSpec, TrainResult};
-use tracegen::Trace;
+use tracegen::{FileSeries, Trace};
 
-/// Everything a policy may observe when deciding tiers for one day.
+/// Everything a policy may observe when deciding tiers for one batch of
+/// files on one day.
 ///
 /// The information model follows the paper: *Hot*/*Cold* ignore the trace;
 /// *Greedy* reads the decided day's true frequencies (it is an "offline
@@ -21,18 +31,94 @@ pub struct DecisionContext<'a> {
     pub trace: &'a Trace,
     /// The pricing/cost model.
     pub model: &'a CostModel,
-    /// Tier each file occupied at the end of the previous day.
+    /// Global indices (into `trace.files`) of the files in this batch, in
+    /// ascending order.
+    pub batch: &'a [usize],
+    /// Tier each batch entry occupied at the end of the previous day,
+    /// parallel to `batch`.
     pub current: &'a [Tier],
 }
 
+impl<'a> DecisionContext<'a> {
+    /// Number of files in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Whether the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+
+    /// The file behind batch entry `slot`.
+    #[must_use]
+    pub fn file(&self, slot: usize) -> &'a FileSeries {
+        &self.trace.files[self.batch[slot]]
+    }
+
+    /// The global trace index of batch entry `slot`.
+    #[must_use]
+    pub fn global(&self, slot: usize) -> usize {
+        self.batch[slot]
+    }
+}
+
 /// A data-storage-type assignment strategy.
-pub trait Policy {
+///
+/// Implementors provide [`Policy::decide_one`] (and may override
+/// [`Policy::decide_batch`] when a batched formulation is cheaper, as the
+/// RL policy's single network pass is) plus [`Policy::fork`], which the
+/// parallel engine uses to give each shard worker a private instance.
+///
+/// # Determinism contract
+///
+/// `decide_one(ctx, slot)` must be a pure function of
+/// `(file, day, current-tier-of-that-file, policy state)`, and
+/// `decide_batch` must equal slot-wise `decide_one` bit-for-bit, so that
+/// sharded and single-threaded simulations produce identical ledgers
+/// (DESIGN.md §9). The policy-conformance suite in
+/// `tests/policy_conformance.rs` enforces both properties for every
+/// shipped policy.
+pub trait Policy: Send {
     /// Short name for reports ("hot", "greedy", "minicost", ...).
     fn name(&self) -> &'static str;
 
-    /// Tiers for every file for `ctx.day`. Must return exactly one tier per
+    /// Tier for the single batch entry `slot` of `ctx`.
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>, slot: usize) -> Tier;
+
+    /// Tiers for every batch entry of `ctx`, one per file, in batch order.
+    ///
+    /// The default implementation maps [`Policy::decide_one`] over the
+    /// batch; override it only with an implementation that returns the
+    /// exact same tiers.
+    fn decide_batch(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
+        (0..ctx.len()).map(|slot| self.decide_one(ctx, slot)).collect()
+    }
+
+    /// Decides the whole fleet in one batch (convenience for call sites
+    /// outside the sharded engine). `current` must hold one tier per trace
     /// file.
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier>;
+    fn decide_fleet(
+        &mut self,
+        day: usize,
+        trace: &Trace,
+        model: &CostModel,
+        current: &[Tier],
+    ) -> Vec<Tier> {
+        assert_eq!(current.len(), trace.files.len(), "one current tier per file");
+        let batch: Vec<usize> = (0..trace.files.len()).collect();
+        let ctx = DecisionContext { day, trace, model, batch: &batch, current };
+        self.decide_batch(&ctx)
+    }
+
+    /// An independent copy for a parallel shard worker.
+    ///
+    /// The fork must make decisions identical to `self`'s; accumulated
+    /// per-instance state (caches, plans) may be dropped as long as it is
+    /// rebuilt deterministically.
+    fn fork(&self) -> Box<dyn Policy>;
 }
 
 /// Keeps every file in one fixed tier forever.
@@ -55,8 +141,16 @@ impl Policy for SingleTierPolicy {
         self.name
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
-        vec![self.tier; ctx.trace.files.len()]
+    fn decide_one(&mut self, _ctx: &DecisionContext<'_>, _slot: usize) -> Tier {
+        self.tier
+    }
+
+    fn decide_batch(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
+        vec![self.tier; ctx.len()]
+    }
+
+    fn fork(&self) -> Box<dyn Policy> {
+        Box::new(*self)
     }
 }
 
@@ -69,8 +163,16 @@ impl Policy for HotPolicy {
         "hot"
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
-        vec![Tier::Hot; ctx.trace.files.len()]
+    fn decide_one(&mut self, _ctx: &DecisionContext<'_>, _slot: usize) -> Tier {
+        Tier::Hot
+    }
+
+    fn decide_batch(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
+        vec![Tier::Hot; ctx.len()]
+    }
+
+    fn fork(&self) -> Box<dyn Policy> {
+        Box::new(*self)
     }
 }
 
@@ -83,8 +185,16 @@ impl Policy for ColdPolicy {
         "cold"
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
-        vec![Tier::Cool; ctx.trace.files.len()]
+    fn decide_one(&mut self, _ctx: &DecisionContext<'_>, _slot: usize) -> Tier {
+        Tier::Cool
+    }
+
+    fn decide_batch(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
+        vec![Tier::Cool; ctx.len()]
+    }
+
+    fn fork(&self) -> Box<dyn Policy> {
+        Box::new(*self)
     }
 }
 
@@ -100,20 +210,19 @@ impl Policy for GreedyPolicy {
         "greedy"
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
-        ctx.trace
-            .files
-            .iter()
-            .zip(ctx.current)
-            .map(|(file, &cur)| {
-                let (r, w) = file.day(ctx.day);
-                let q = |t: Tier| {
-                    ctx.model.policy().change_cost(cur, t, file.size_gb)
-                        + ctx.model.steady_day_cost(file.size_gb, r, w, t)
-                };
-                Tier::all().reduce(|best, t| if q(t) < q(best) { t } else { best }).unwrap_or(cur)
-            })
-            .collect()
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>, slot: usize) -> Tier {
+        let file = ctx.file(slot);
+        let cur = ctx.current[slot];
+        let (r, w) = file.day(ctx.day);
+        let q = |t: Tier| {
+            ctx.model.policy().change_cost(cur, t, file.size_gb)
+                + ctx.model.steady_day_cost(file.size_gb, r, w, t)
+        };
+        Tier::all().reduce(|best, t| if q(t) < q(best) { t } else { best }).unwrap_or(cur)
+    }
+
+    fn fork(&self) -> Box<dyn Policy> {
+        Box::new(*self)
     }
 }
 
@@ -147,8 +256,12 @@ impl Policy for OptimalPolicy {
         "optimal"
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
-        self.plans.iter().map(|plan| plan[ctx.day]).collect()
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>, slot: usize) -> Tier {
+        self.plans[ctx.global(slot)][ctx.day]
+    }
+
+    fn fork(&self) -> Box<dyn Policy> {
+        Box::new(self.clone())
     }
 }
 
@@ -156,6 +269,7 @@ impl Policy for OptimalPolicy {
 /// (O(1) per decision, O(n) per day — §5.1).
 pub struct RlPolicy {
     actor: nn::Network,
+    spec: NetSpec,
     features: FeatureConfig,
     name: &'static str,
 }
@@ -178,55 +292,7 @@ impl RlPolicy {
         );
         let mut actor = spec.build_actor(0);
         actor.set_params(actor_params);
-        RlPolicy { actor, features, name: "minicost" }
-    }
-
-    /// Greedy action for one file on one day.
-    #[must_use]
-    pub fn decide_file(&mut self, file: &tracegen::FileSeries, day: usize, current: Tier) -> Tier {
-        if day == 0 {
-            // Nothing has been observed yet: every file encodes to the same
-            // all-padding state, so acting would apply one blind action to
-            // the whole catalog (catastrophic for the traffic head). Hold
-            // the current tier until the first observation arrives.
-            return current;
-        }
-        let state = self.features.encode(file, day, current);
-        let logits = self.actor.forward(&nn::Matrix::row_vector(&state));
-        // The actor emits one logit per tier, so argmax is always a valid
-        // index; hold the current tier if the network is ever mis-sized.
-        Tier::from_index(argmax(logits.row(0))).unwrap_or(current)
-    }
-}
-
-impl RlPolicy {
-    /// Greedy actions for a batch of files in one network pass.
-    ///
-    /// One `files x state_dim` matrix through the actor amortizes the
-    /// per-call overhead across the catalog — this is what makes the daily
-    /// decision sweep of Fig. 12 cheap at scale. Day 0 holds current tiers
-    /// (see [`RlPolicy::decide_file`]).
-    #[must_use]
-    pub fn decide_batch(
-        &mut self,
-        files: &[tracegen::FileSeries],
-        day: usize,
-        current: &[Tier],
-    ) -> Vec<Tier> {
-        assert_eq!(files.len(), current.len(), "one current tier per file");
-        if day == 0 || files.is_empty() {
-            return current.to_vec();
-        }
-        let dim = self.features.state_dim();
-        let mut states = Vec::with_capacity(files.len() * dim);
-        for (file, &cur) in files.iter().zip(current) {
-            states.extend(self.features.encode(file, day, cur));
-        }
-        let batch = nn::Matrix::from_vec(files.len(), dim, states);
-        let logits = self.actor.forward(&batch);
-        (0..files.len())
-            .map(|row| Tier::from_index(argmax(logits.row(row))).unwrap_or(current[row]))
-            .collect()
+        RlPolicy { actor, spec, features, name: "minicost" }
     }
 }
 
@@ -235,8 +301,47 @@ impl Policy for RlPolicy {
         self.name
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
-        self.decide_batch(&ctx.trace.files, ctx.day, ctx.current)
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>, slot: usize) -> Tier {
+        let current = ctx.current[slot];
+        if ctx.day == 0 {
+            // Nothing has been observed yet: every file encodes to the same
+            // all-padding state, so acting would apply one blind action to
+            // the whole catalog (catastrophic for the traffic head). Hold
+            // the current tier until the first observation arrives.
+            return current;
+        }
+        let state = self.features.encode(ctx.file(slot), ctx.day, current);
+        let logits = self.actor.forward(&nn::Matrix::row_vector(&state));
+        // The actor emits one logit per tier, so argmax is always a valid
+        // index; hold the current tier if the network is ever mis-sized.
+        Tier::from_index(argmax(logits.row(0))).unwrap_or(current)
+    }
+
+    /// Greedy actions for the whole batch in one network pass.
+    ///
+    /// One `files x state_dim` matrix through the actor amortizes the
+    /// per-call overhead across the batch — this is what makes the daily
+    /// decision sweep of Fig. 12 cheap at scale. Every forward row depends
+    /// only on its own input row, so the result is bit-identical to
+    /// slot-wise [`Policy::decide_one`] regardless of batch composition.
+    fn decide_batch(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
+        if ctx.day == 0 || ctx.is_empty() {
+            return ctx.current.to_vec();
+        }
+        let dim = self.features.state_dim();
+        let mut states = Vec::with_capacity(ctx.len() * dim);
+        for slot in 0..ctx.len() {
+            states.extend(self.features.encode(ctx.file(slot), ctx.day, ctx.current[slot]));
+        }
+        let batch = nn::Matrix::from_vec(ctx.len(), dim, states);
+        let logits = self.actor.forward(&batch);
+        (0..ctx.len())
+            .map(|row| Tier::from_index(argmax(logits.row(row))).unwrap_or(ctx.current[row]))
+            .collect()
+    }
+
+    fn fork(&self) -> Box<dyn Policy> {
+        Box::new(RlPolicy::from_params(self.spec, &self.actor.param_vector(), self.features))
     }
 }
 
@@ -253,24 +358,43 @@ mod tests {
         )
     }
 
+    fn fleet(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
     fn ctx<'a>(
         trace: &'a Trace,
         model: &'a CostModel,
         day: usize,
+        batch: &'a [usize],
         current: &'a [Tier],
     ) -> DecisionContext<'a> {
-        DecisionContext { day, trace, model, current }
+        DecisionContext { day, trace, model, batch, current }
+    }
+
+    fn test_spec() -> NetSpec {
+        NetSpec {
+            window: 4,
+            channels: crate::features::FeatureConfig::CHANNELS,
+            extras: crate::features::EXTRA_FEATURES,
+            filters: 4,
+            kernel: 2,
+            stride: 1,
+            hidden: 8,
+            actions: 3,
+        }
     }
 
     #[test]
     fn single_tier_policies_are_constant() {
         let (trace, model) = setup();
+        let batch = fleet(trace.len());
         let current = vec![Tier::Hot; trace.len()];
-        let c = ctx(&trace, &model, 0, &current);
-        assert!(HotPolicy.decide(&c).iter().all(|&t| t == Tier::Hot));
-        assert!(ColdPolicy.decide(&c).iter().all(|&t| t == Tier::Cool));
+        let c = ctx(&trace, &model, 0, &batch, &current);
+        assert!(HotPolicy.decide_batch(&c).iter().all(|&t| t == Tier::Hot));
+        assert!(ColdPolicy.decide_batch(&c).iter().all(|&t| t == Tier::Cool));
         let mut archive = SingleTierPolicy::new(Tier::Archive);
-        assert!(archive.decide(&c).iter().all(|&t| t == Tier::Archive));
+        assert!(archive.decide_batch(&c).iter().all(|&t| t == Tier::Archive));
         assert_eq!(HotPolicy.name(), "hot");
         assert_eq!(ColdPolicy.name(), "cold");
         assert_eq!(archive.name(), "archive");
@@ -279,9 +403,10 @@ mod tests {
     #[test]
     fn greedy_picks_the_cheapest_single_day() {
         let (trace, model) = setup();
+        let batch = fleet(trace.len());
         let current = vec![Tier::Hot; trace.len()];
-        let c = ctx(&trace, &model, 5, &current);
-        let decision = GreedyPolicy.decide(&c);
+        let c = ctx(&trace, &model, 5, &batch, &current);
+        let decision = GreedyPolicy.decide_batch(&c);
         for (i, (&chosen, file)) in decision.iter().zip(&trace.files).enumerate() {
             let (r, w) = file.day(5);
             let cost_of = |t: Tier| {
@@ -311,8 +436,7 @@ mod tests {
         };
         let trace = Trace { days: 1, files: vec![file] };
         let current = vec![Tier::Cool];
-        let c = ctx(&trace, &model, 0, &current);
-        let decision = GreedyPolicy.decide(&c);
+        let decision = GreedyPolicy.decide_fleet(0, &trace, &model, &current);
         assert_eq!(decision[0], Tier::Cool, "change cost must deter the move");
 
         // Sanity check of the premise: with two reads the saving flips and
@@ -324,8 +448,7 @@ mod tests {
             writes: vec![0],
         };
         let trace2 = Trace { days: 1, files: vec![file2] };
-        let c2 = ctx(&trace2, &model, 0, &current);
-        assert_eq!(GreedyPolicy.decide(&c2)[0], Tier::Hot);
+        assert_eq!(GreedyPolicy.decide_fleet(0, &trace2, &model, &current)[0], Tier::Hot);
     }
 
     #[test]
@@ -335,7 +458,7 @@ mod tests {
         assert!(opt.planned_cost > Money::ZERO);
         let current = vec![Tier::Hot; trace.len()];
         for day in [0usize, 7, 13] {
-            let decision = opt.decide(&ctx(&trace, &model, day, &current));
+            let decision = opt.decide_fleet(day, &trace, &model, &current);
             assert_eq!(decision.len(), trace.len());
             for (plan, &tier) in opt.plans.iter().zip(&decision) {
                 assert_eq!(plan[day], tier);
@@ -345,23 +468,30 @@ mod tests {
     }
 
     #[test]
+    fn optimal_indexes_plans_by_global_index() {
+        // A sub-batch must look plans up by global trace index, not by the
+        // file's position inside the batch — the sharding correctness
+        // linchpin.
+        let (trace, model) = setup();
+        let mut opt = OptimalPolicy::plan(&trace, &model, Tier::Hot);
+        let batch = vec![7usize, 12, 25];
+        let current = vec![Tier::Hot; batch.len()];
+        let c = ctx(&trace, &model, 9, &batch, &current);
+        let decision = opt.decide_batch(&c);
+        for (slot, &ix) in batch.iter().enumerate() {
+            assert_eq!(decision[slot], opt.plans[ix][9]);
+        }
+    }
+
+    #[test]
     fn rl_policy_produces_valid_tiers() {
         let features = FeatureConfig { window: 4 };
-        let spec = NetSpec {
-            window: 4,
-            channels: crate::features::FeatureConfig::CHANNELS,
-            extras: crate::features::EXTRA_FEATURES,
-            filters: 4,
-            kernel: 2,
-            stride: 1,
-            hidden: 8,
-            actions: 3,
-        };
+        let spec = test_spec();
         let actor = spec.build_actor(1);
         let mut policy = RlPolicy::from_params(spec, &actor.param_vector(), features);
         let (trace, model) = setup();
         let current = vec![Tier::Hot; trace.len()];
-        let decision = policy.decide(&ctx(&trace, &model, 6, &current));
+        let decision = policy.decide_fleet(6, &trace, &model, &current);
         assert_eq!(decision.len(), trace.len());
         assert_eq!(policy.name(), "minicost");
     }
@@ -369,57 +499,50 @@ mod tests {
     #[test]
     fn rl_policy_is_deterministic() {
         let features = FeatureConfig { window: 4 };
-        let spec = NetSpec {
-            window: 4,
-            channels: crate::features::FeatureConfig::CHANNELS,
-            extras: crate::features::EXTRA_FEATURES,
-            filters: 4,
-            kernel: 2,
-            stride: 1,
-            hidden: 8,
-            actions: 3,
-        };
+        let spec = test_spec();
         let actor = spec.build_actor(2);
         let mut p1 = RlPolicy::from_params(spec, &actor.param_vector(), features);
         let mut p2 = RlPolicy::from_params(spec, &actor.param_vector(), features);
         let (trace, model) = setup();
         let current = vec![Tier::Cool; trace.len()];
-        let c = ctx(&trace, &model, 9, &current);
-        assert_eq!(p1.decide(&c), p2.decide(&c));
+        assert_eq!(
+            p1.decide_fleet(9, &trace, &model, &current),
+            p2.decide_fleet(9, &trace, &model, &current)
+        );
     }
 
     #[test]
     fn batched_decide_matches_per_file() {
         let features = FeatureConfig { window: 4 };
-        let spec = NetSpec {
-            window: 4,
-            channels: crate::features::FeatureConfig::CHANNELS,
-            extras: crate::features::EXTRA_FEATURES,
-            filters: 4,
-            kernel: 2,
-            stride: 1,
-            hidden: 8,
-            actions: 3,
-        };
+        let spec = test_spec();
         let actor = spec.build_actor(9);
         let mut policy = RlPolicy::from_params(spec, &actor.param_vector(), features);
-        let (trace, _) = setup();
+        let (trace, model) = setup();
+        let batch = fleet(trace.len());
         let current: Vec<Tier> =
             (0..trace.len()).map(|i| Tier::from_index(i % 3).unwrap()).collect();
         for day in [0usize, 1, 7] {
-            let batched = policy.decide_batch(&trace.files, day, &current);
-            let singly: Vec<Tier> = if day == 0 {
-                current.clone()
-            } else {
-                trace
-                    .files
-                    .iter()
-                    .zip(&current)
-                    .map(|(f, &c)| policy.decide_file(f, day, c))
-                    .collect()
-            };
+            let c = ctx(&trace, &model, day, &batch, &current);
+            let batched = policy.decide_batch(&c);
+            let singly: Vec<Tier> = (0..c.len()).map(|slot| policy.decide_one(&c, slot)).collect();
             assert_eq!(batched, singly, "day {day}");
         }
+    }
+
+    #[test]
+    fn forked_rl_policy_decides_identically() {
+        let features = FeatureConfig { window: 4 };
+        let spec = test_spec();
+        let actor = spec.build_actor(5);
+        let mut policy = RlPolicy::from_params(spec, &actor.param_vector(), features);
+        let mut fork = policy.fork();
+        let (trace, model) = setup();
+        let current = vec![Tier::Hot; trace.len()];
+        assert_eq!(
+            policy.decide_fleet(6, &trace, &model, &current),
+            fork.decide_fleet(6, &trace, &model, &current)
+        );
+        assert_eq!(fork.name(), "minicost");
     }
 
     #[test]

@@ -21,11 +21,16 @@ use tracegen::FileSeries;
 /// read counts from the observed history (strictly before the decision
 /// day), plans the cheapest tier sequence for that window with the same DP
 /// as [`crate::optimal`], and replays the plan until the next refit.
+///
+/// Plans are keyed by **global** file index and built lazily per batch, so
+/// a file's plan is the same whether it is decided in the full fleet or in
+/// a shard — the sharding determinism contract of DESIGN.md §9.
 pub struct PredictivePolicy<F: forecast::Forecaster> {
     forecaster: F,
     horizon: usize,
-    /// Per-file plan for the current window, refreshed every `horizon` days.
-    plans: Vec<Vec<Tier>>,
+    /// Lazily-built per-file plans for the current window, keyed by global
+    /// file index; cleared at every refit boundary.
+    plans: Vec<Option<Vec<Tier>>>,
     planned_at: Option<usize>,
 }
 
@@ -36,6 +41,22 @@ impl<F: forecast::Forecaster> PredictivePolicy<F> {
     pub fn new(forecaster: F, horizon: usize) -> Self {
         assert!(horizon > 0, "horizon must be positive");
         PredictivePolicy { forecaster, horizon, plans: Vec::new(), planned_at: None }
+    }
+
+    /// Clears all plans and restarts the window when the decision day has
+    /// moved past the current one. The cadence depends only on the sequence
+    /// of decision days, never on which files are in the batch, so every
+    /// shard fork refits on the same days.
+    fn refit_if_due(&mut self, day: usize, files: usize) {
+        let refit = match self.planned_at {
+            None => true,
+            Some(at) => day >= at + self.horizon,
+        };
+        if refit {
+            self.plans.clear();
+            self.plans.resize(files, None);
+            self.planned_at = Some(day);
+        }
     }
 
     /// Plans one file's next window from predicted frequencies.
@@ -113,40 +134,45 @@ impl<F: forecast::Forecaster> PredictivePolicy<F> {
     }
 }
 
-impl<F: forecast::Forecaster> Policy for PredictivePolicy<F> {
+impl<F: forecast::Forecaster + Clone + Send + 'static> Policy for PredictivePolicy<F> {
     fn name(&self) -> &'static str {
         "predictive"
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
-        let refit = match self.planned_at {
-            None => true,
-            Some(at) => ctx.day >= at + self.horizon,
-        };
-        if refit {
-            self.plans = ctx
-                .trace
-                .files
-                .iter()
-                .zip(ctx.current)
-                .map(|(file, &cur)| {
-                    if ctx.day == 0 {
-                        // Nothing observed yet; hold (same rationale as
-                        // RlPolicy's day-0 rule).
-                        vec![cur; self.horizon]
-                    } else {
-                        self.plan_file(file, ctx.day, cur, ctx.model)
-                    }
-                })
-                .collect();
-            self.planned_at = Some(ctx.day);
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>, slot: usize) -> Tier {
+        self.refit_if_due(ctx.day, ctx.trace.files.len());
+        let at = self.planned_at.unwrap_or(ctx.day);
+        let global = ctx.global(slot);
+        let cur = ctx.current[slot];
+        if self.plans.len() <= global {
+            self.plans.resize(global + 1, None);
         }
-        let offset = ctx.day - self.planned_at.unwrap_or(ctx.day);
-        self.plans
-            .iter()
-            .zip(ctx.current)
-            .map(|(plan, &cur)| plan.get(offset).copied().unwrap_or(cur))
-            .collect()
+        if self.plans[global].is_none() {
+            let plan = if at == 0 {
+                // Nothing observed yet; hold (same rationale as RlPolicy's
+                // day-0 rule).
+                vec![cur; self.horizon]
+            } else {
+                // History is cut at the refit day, so a plan built lazily
+                // later in the window is identical to one built at refit.
+                self.plan_file(ctx.file(slot), at, cur, ctx.model)
+            };
+            self.plans[global] = Some(plan);
+        }
+        let offset = ctx.day - at;
+        self.plans[global].as_ref().and_then(|plan| plan.get(offset)).copied().unwrap_or(cur)
+    }
+
+    fn fork(&self) -> Box<dyn Policy> {
+        // A fork starts with empty plans: plans depend only on
+        // (file, refit day, tier at refit), so each shard rebuilds exactly
+        // the same ones for its own files.
+        Box::new(PredictivePolicy {
+            forecaster: self.forecaster.clone(),
+            horizon: self.horizon,
+            plans: Vec::new(),
+            planned_at: None,
+        })
     }
 }
 
@@ -211,26 +237,11 @@ mod tests {
         let mut policy = PredictivePolicy::new(Naive, 7);
         let current = vec![Tier::Hot; trace.len()];
         // Decisions inside one window come from one plan (same object).
-        let d7 = policy.decide(&DecisionContext {
-            day: 7,
-            trace: &trace,
-            model: &model,
-            current: &current,
-        });
+        let d7 = policy.decide_fleet(7, &trace, &model, &current);
         let planned_at = policy.planned_at;
-        let _ = policy.decide(&DecisionContext {
-            day: 9,
-            trace: &trace,
-            model: &model,
-            current: &current,
-        });
+        let _ = policy.decide_fleet(9, &trace, &model, &current);
         assert_eq!(policy.planned_at, planned_at, "no refit inside the window");
-        let _ = policy.decide(&DecisionContext {
-            day: 14,
-            trace: &trace,
-            model: &model,
-            current: &current,
-        });
+        let _ = policy.decide_fleet(14, &trace, &model, &current);
         assert_ne!(policy.planned_at, planned_at, "refit at the boundary");
         assert_eq!(d7.len(), trace.len());
     }
@@ -240,12 +251,7 @@ mod tests {
         let (trace, model) = setup();
         let mut policy = PredictivePolicy::new(Naive, 7);
         let current = vec![Tier::Archive; trace.len()];
-        let decision = policy.decide(&DecisionContext {
-            day: 0,
-            trace: &trace,
-            model: &model,
-            current: &current,
-        });
+        let decision = policy.decide_fleet(0, &trace, &model, &current);
         assert!(decision.iter().all(|&t| t == Tier::Archive));
     }
 

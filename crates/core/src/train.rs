@@ -1,9 +1,12 @@
 //! The end-to-end MiniCost training pipeline:
 //! trace → tiering environment → A3C → deployable [`RlPolicy`].
 
+use crate::engine::par_map_indices;
 use crate::features::{FeatureConfig, EXTRA_FEATURES};
-use crate::mdp::{RewardConfig, TieringEnv, TieringEnvConfig};
+use crate::mdp::{OracleTables, RewardConfig, TieringEnv, TieringEnvConfig};
+use crate::optimal::suffix_values;
 use crate::policy::RlPolicy;
+use crate::sim::default_workers;
 use pricing::{CostModel, TIER_COUNT};
 use rl::{A3cConfig, A3cTrainer, NetSpec, TrainResult};
 use serde::{Deserialize, Serialize};
@@ -111,15 +114,26 @@ impl MiniCost {
             seed: cfg.a3c.seed,
             with_oracle: true,
         };
+        // The suffix-value oracle is the expensive part of environment
+        // construction (O(files × days) per build). Compute the tables once
+        // — sharded across threads by the simulation engine's index mapper,
+        // which returns them in file order regardless of worker count — and
+        // share one Arc across every A3C worker's environment.
+        let oracle: Arc<OracleTables> = Arc::new(par_map_indices(
+            trace.files.len(),
+            cfg.a3c.workers.max(default_workers()),
+            |ix| Some(suffix_values(&trace.files[ix], &model)),
+        ));
         let trainer = A3cTrainer::new(spec, cfg.a3c.clone());
         let result = trainer.train(|worker| {
-            TieringEnv::new(
+            TieringEnv::with_oracle_tables(
                 Arc::clone(&trace),
                 Arc::clone(&model),
                 TieringEnvConfig {
                     seed: env_cfg_base.seed ^ ((worker as u64 + 1) << 32),
                     ..env_cfg_base.clone()
                 },
+                Arc::clone(&oracle),
             )
         });
         MiniCost { result, features: cfg.features }
@@ -249,12 +263,10 @@ mod tests {
         // The round-tripped agent yields the same decisions.
         let mut p1 = agent.policy();
         let mut p2 = back.policy();
-        let ctx = crate::policy::DecisionContext {
-            day: 10,
-            trace: &trace,
-            model: &model,
-            current: &vec![Tier::Hot; trace.len()],
-        };
-        assert_eq!(p1.decide(&ctx), p2.decide(&ctx));
+        let current = vec![Tier::Hot; trace.len()];
+        assert_eq!(
+            p1.decide_fleet(10, &trace, &model, &current),
+            p2.decide_fleet(10, &trace, &model, &current)
+        );
     }
 }

@@ -22,8 +22,14 @@ impl Policy for ReplayPolicy {
         "replay"
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
-        self.schedule[ctx.day].clone()
+    // The schedule is indexed by global file index, so replay stays correct
+    // (and deterministic) under sharded simulation too.
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>, slot: usize) -> Tier {
+        self.schedule[ctx.day][ctx.global(slot)]
+    }
+
+    fn fork(&self) -> Box<dyn Policy> {
+        Box::new(ReplayPolicy { schedule: self.schedule.clone() })
     }
 }
 
@@ -33,7 +39,7 @@ fn optimal_schedule(trace: &Trace, model: &CostModel, cfg: &SimConfig) -> Vec<Ve
     (0..trace.days)
         .map(|day| {
             let current = vec![cfg.initial_tier; trace.len()];
-            opt.decide(&DecisionContext { day, trace, model, current: &current })
+            opt.decide_fleet(day, trace, model, &current)
         })
         .collect()
 }

@@ -9,13 +9,19 @@ fn model() -> CostModel {
     CostModel::new(PricingPolicy::paper_2020())
 }
 
+/// Validated config: default tier/cadence, explicit seed, worker count from
+/// `MINICOST_WORKERS` (CI runs this suite at 1 and 4 workers).
+fn sim_cfg() -> SimConfig {
+    SimConfig::builder().seed(0).build().expect("valid sim config")
+}
+
 #[test]
 fn zero_size_files_cost_only_operations() {
     let file =
         FileSeries { id: FileId(0), size_gb: 0.0, reads: vec![100, 0, 50], writes: vec![1, 0, 0] };
     let trace = Trace { days: 3, files: vec![file] };
     let m = model();
-    let cfg = SimConfig::default();
+    let cfg = sim_cfg();
     for policy in [&mut HotPolicy as &mut dyn Policy, &mut GreedyPolicy] {
         let run = simulate(&trace, &m, policy, &cfg);
         assert!(run.total_cost() >= Money::ZERO);
@@ -31,7 +37,7 @@ fn zero_size_files_cost_only_operations() {
 fn single_day_horizon() {
     let trace = Trace::generate(&TraceConfig::small(20, 1, 1));
     let m = model();
-    let cfg = SimConfig::default();
+    let cfg = sim_cfg();
     let hot = simulate(&trace, &m, &mut HotPolicy, &cfg);
     let mut opt = OptimalPolicy::plan(&trace, &m, cfg.initial_tier);
     let opt_run = simulate(&trace, &m, &mut opt, &cfg);
@@ -49,7 +55,7 @@ fn single_file_trace_trains_and_evaluates() {
     cfg.a3c.workers = 1;
     cfg.a3c.total_updates = 30;
     let agent = MiniCost::train(&trace, &m, &cfg);
-    let run = simulate(&trace, &m, &mut agent.policy(), &SimConfig::default());
+    let run = simulate(&trace, &m, &mut agent.policy(), &sim_cfg());
     assert_eq!(run.per_file.len(), 1);
 }
 
@@ -60,7 +66,7 @@ fn all_zero_traffic_trace() {
         .collect();
     let trace = Trace { days: 7, files };
     let m = model();
-    let cfg = SimConfig::default();
+    let cfg = sim_cfg();
     // Optimal sends everything to archive (pure storage minimization).
     let mut opt = OptimalPolicy::plan(&trace, &m, cfg.initial_tier);
     let run = simulate(&trace, &m, &mut opt, &cfg);
@@ -82,7 +88,7 @@ fn degenerate_flat_pricing_trains_without_panic() {
     cfg.a3c.workers = 1;
     cfg.a3c.total_updates = 30;
     let agent = MiniCost::train(&trace, &m, &cfg);
-    let run = simulate(&trace, &m, &mut agent.policy(), &SimConfig::default());
+    let run = simulate(&trace, &m, &mut agent.policy(), &sim_cfg());
     assert!(run.total_cost() > Money::ZERO);
 }
 
@@ -146,6 +152,6 @@ fn predictive_policy_on_idle_trace() {
     let trace = Trace { days: 14, files };
     let m = model();
     let mut policy = PredictivePolicy::new(forecast::Naive, 7);
-    let run = simulate(&trace, &m, &mut policy, &SimConfig::default());
+    let run = simulate(&trace, &m, &mut policy, &sim_cfg());
     assert_eq!(run.days(), 14);
 }

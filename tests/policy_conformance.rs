@@ -1,0 +1,151 @@
+//! Policy-conformance suite: every shipped policy, driven purely through
+//! `dyn Policy`, must honor the batch-first trait contract the sharded
+//! engine relies on (DESIGN.md §9) — `decide_batch` equals slot-wise
+//! `decide_one`, forks decide identically to their originals, and the
+//! decision for a file never depends on which other files share the batch.
+
+use minicost::prelude::*;
+
+fn setup() -> (Trace, CostModel) {
+    (Trace::generate(&TraceConfig::small(60, 14, 21)), CostModel::new(PricingPolicy::paper_2020()))
+}
+
+/// The paper's five strategies as trait objects: Hot, Cold, Greedy,
+/// MiniCost (briefly trained — conformance is independent of training
+/// quality), and Optimal.
+fn all_policies(trace: &Trace, model: &CostModel) -> Vec<Box<dyn Policy>> {
+    let mut cfg = MiniCostConfig::fast();
+    cfg.a3c.workers = 1;
+    cfg.a3c.total_updates = 30;
+    let agent = MiniCost::train(trace, model, &cfg);
+    vec![
+        Box::new(HotPolicy),
+        Box::new(ColdPolicy),
+        Box::new(GreedyPolicy),
+        Box::new(agent.policy()),
+        Box::new(OptimalPolicy::plan(trace, model, Tier::Hot)),
+    ]
+}
+
+/// A deliberately non-uniform current-tier vector so conformance is not an
+/// artifact of every file sitting in the same tier.
+fn varied_tiers(n: usize) -> Vec<Tier> {
+    let tiers: Vec<Tier> = Tier::all().collect();
+    (0..n).map(|i| tiers[i % tiers.len()]).collect()
+}
+
+#[test]
+fn names_are_nonempty_and_unique() {
+    let (trace, model) = setup();
+    let policies = all_policies(&trace, &model);
+    let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
+    for name in &names {
+        assert!(!name.is_empty());
+    }
+    let mut unique = names.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), names.len(), "duplicate policy names: {names:?}");
+}
+
+#[test]
+fn decide_fleet_returns_one_tier_per_file_every_day() {
+    let (trace, model) = setup();
+    for policy in &mut all_policies(&trace, &model) {
+        let mut current = vec![Tier::Hot; trace.len()];
+        for day in 0..trace.days {
+            current = policy.decide_fleet(day, &trace, &model, &current);
+            assert_eq!(current.len(), trace.len(), "{} day {day}", policy.name());
+        }
+    }
+}
+
+#[test]
+fn decide_batch_matches_slotwise_decide_one() {
+    let (trace, model) = setup();
+    // A strided sub-fleet batch, as a shard would present it.
+    let batch: Vec<usize> = (0..trace.len()).step_by(3).collect();
+    let current = varied_tiers(batch.len());
+    for policy in &all_policies(&trace, &model) {
+        for day in [0usize, 1, 7, trace.days - 1] {
+            let ctx = DecisionContext {
+                day,
+                trace: &trace,
+                model: &model,
+                batch: &batch,
+                current: &current,
+            };
+            let batched = policy.fork().decide_batch(&ctx);
+            let mut single = policy.fork();
+            let slotwise: Vec<Tier> = (0..ctx.len()).map(|s| single.decide_one(&ctx, s)).collect();
+            assert_eq!(batched, slotwise, "{} day {day}", policy.name());
+        }
+    }
+}
+
+#[test]
+fn forks_decide_identically_to_their_original() {
+    let (trace, model) = setup();
+    for policy in &mut all_policies(&trace, &model) {
+        let mut fork = policy.fork();
+        assert_eq!(policy.name(), fork.name());
+        let mut current = vec![Tier::Hot; trace.len()];
+        for day in 0..trace.days {
+            let a = policy.decide_fleet(day, &trace, &model, &current);
+            let b = fork.decide_fleet(day, &trace, &model, &current);
+            assert_eq!(a, b, "{} day {day}", policy.name());
+            current = a;
+        }
+    }
+}
+
+#[test]
+fn decisions_are_independent_of_batch_composition() {
+    // The core sharding precondition: a file's tier must not change when
+    // its batch shrinks from the whole fleet to a singleton.
+    let (trace, model) = setup();
+    let full: Vec<usize> = (0..trace.len()).collect();
+    let current = varied_tiers(trace.len());
+    for policy in &all_policies(&trace, &model) {
+        for day in [1usize, 5, 10] {
+            let ctx = DecisionContext {
+                day,
+                trace: &trace,
+                model: &model,
+                batch: &full,
+                current: &current,
+            };
+            let fleet = policy.fork().decide_batch(&ctx);
+            for ix in (0..trace.len()).step_by(7) {
+                let one_batch = [ix];
+                let one_current = [current[ix]];
+                let one_ctx = DecisionContext {
+                    day,
+                    trace: &trace,
+                    model: &model,
+                    batch: &one_batch,
+                    current: &one_current,
+                };
+                let alone = policy.fork().decide_batch(&one_ctx);
+                assert_eq!(
+                    alone,
+                    vec![fleet[ix]],
+                    "{} day {day} file {ix}: decision depends on batch composition",
+                    policy.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_batch_is_legal() {
+    let (trace, model) = setup();
+    let batch: [usize; 0] = [];
+    let current: [Tier; 0] = [];
+    let ctx =
+        DecisionContext { day: 0, trace: &trace, model: &model, batch: &batch, current: &current };
+    for policy in &mut all_policies(&trace, &model) {
+        assert!(policy.decide_batch(&ctx).is_empty(), "{}", policy.name());
+    }
+}

@@ -9,6 +9,12 @@ fn model() -> CostModel {
     CostModel::new(PricingPolicy::azure_blob_2020())
 }
 
+/// Validated config: default tier/cadence, explicit seed, worker count from
+/// `MINICOST_WORKERS` (CI runs this suite at 1 and 4 workers).
+fn sim_cfg() -> SimConfig {
+    SimConfig::builder().seed(0).build().expect("valid sim config")
+}
+
 fn trace_from(reads: Vec<Vec<u64>>, size: f64) -> Trace {
     let days = reads.first().map_or(0, Vec::len);
     let files = reads
@@ -34,7 +40,7 @@ proptest! {
     ) {
         let trace = trace_from(reads, size);
         let m = model();
-        let cfg = SimConfig::default();
+        let cfg = sim_cfg();
         let opt = simulate(&trace, &m, &mut OptimalPolicy::plan(&trace, &m, cfg.initial_tier), &cfg).total_cost();
         for policy in [
             &mut HotPolicy as &mut dyn Policy,
@@ -76,7 +82,7 @@ proptest! {
     ) {
         let trace = trace_from(reads, size);
         let m = model();
-        let cfg = SimConfig::default();
+        let cfg = sim_cfg();
         let greedy = simulate(&trace, &m, &mut GreedyPolicy, &cfg).total_cost();
         let hot = simulate(&trace, &m, &mut HotPolicy, &cfg).total_cost();
         let cold = simulate(&trace, &m, &mut ColdPolicy, &cfg).total_cost();
@@ -92,7 +98,7 @@ proptest! {
     ) {
         let trace = trace_from(reads, 0.5);
         let m = CostModel::new(PricingPolicy::flat());
-        let cfg = SimConfig::default();
+        let cfg = sim_cfg();
         let hot = simulate(&trace, &m, &mut HotPolicy, &cfg).total_cost();
         let cold = simulate(&trace, &m, &mut ColdPolicy, &cfg).total_cost();
         let opt = simulate(&trace, &m, &mut OptimalPolicy::plan(&trace, &m, cfg.initial_tier), &cfg).total_cost();
@@ -113,7 +119,7 @@ proptest! {
             1.0,
         );
         let m = model();
-        let cfg = SimConfig::default();
+        let cfg = sim_cfg();
         for (a, b) in [
             (
                 simulate(&trace, &m, &mut HotPolicy, &cfg).total_cost(),
@@ -138,7 +144,7 @@ fn ordering_holds_on_a_calibrated_trace() {
     let trace =
         Trace::generate(&TraceConfig { files: 400, days: 35, seed: 99, ..TraceConfig::default() });
     let m = CostModel::new(PricingPolicy::paper_2020());
-    let cfg = SimConfig::default();
+    let cfg = sim_cfg();
     let hot = simulate(&trace, &m, &mut HotPolicy, &cfg).total_cost();
     let cold = simulate(&trace, &m, &mut ColdPolicy, &cfg).total_cost();
     let greedy = simulate(&trace, &m, &mut GreedyPolicy, &cfg).total_cost();

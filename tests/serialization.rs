@@ -5,6 +5,12 @@
 use minicost::prelude::*;
 use minicost::sim::SimResult;
 
+/// Validated config: default tier/cadence, explicit seed, worker count from
+/// `MINICOST_WORKERS` (CI runs this suite at 1 and 4 workers).
+fn sim_cfg() -> SimConfig {
+    SimConfig::builder().seed(0).build().expect("valid sim config")
+}
+
 #[test]
 fn trace_round_trips() {
     let trace = Trace::generate(&TraceConfig::small(25, 14, 11));
@@ -36,7 +42,7 @@ fn pricing_policies_round_trip() {
 fn sim_result_round_trips_with_exact_money() {
     let trace = Trace::generate(&TraceConfig::small(30, 10, 12));
     let model = CostModel::new(PricingPolicy::azure_blob_2020());
-    let result = simulate(&trace, &model, &mut GreedyPolicy, &SimConfig::default());
+    let result = simulate(&trace, &model, &mut GreedyPolicy, &sim_cfg());
     let json = serde_json::to_string(&result).unwrap();
     let back: SimResult = serde_json::from_str(&json).unwrap();
     assert_eq!(result.total_cost(), back.total_cost());
@@ -66,7 +72,7 @@ fn trained_agent_round_trips_and_decides_identically() {
     let json = serde_json::to_string(&agent).unwrap();
     let back: MiniCost = serde_json::from_str(&json).unwrap();
 
-    let sim_cfg = SimConfig::default();
+    let sim_cfg = sim_cfg();
     let a = simulate(&trace, &model, &mut agent.policy(), &sim_cfg);
     let b = simulate(&trace, &model, &mut back.policy(), &sim_cfg);
     assert_eq!(a.total_cost(), b.total_cost());

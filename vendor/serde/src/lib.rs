@@ -101,3 +101,21 @@ pub fn get_field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<T
         None => T::from_value(&Value::Null).map_err(|_| DeError::missing(key)),
     }
 }
+
+/// Like [`get_field`], but an absent key produces `default()` instead of a
+/// "missing field" error — the `#[serde(default)]` / `#[serde(default =
+/// "path")]` derive-macro helper, used to keep old serialized payloads
+/// loadable when a struct grows a field.
+///
+/// # Errors
+/// Returns [`DeError`] only when the field is present with the wrong shape.
+pub fn get_field_or<T: Deserialize>(
+    map: &[(String, Value)],
+    key: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| e.in_field(key)),
+        None => Ok(default()),
+    }
+}

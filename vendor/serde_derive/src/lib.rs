@@ -14,9 +14,17 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field and its `#[serde(...)]` options.
+struct FieldSpec {
+    name: String,
+    /// `Some(path)` when the field carries `#[serde(default)]` (the path is
+    /// `Default::default`) or `#[serde(default = "path")]`.
+    default: Option<String>,
+}
+
 /// The parsed shape of a derive input.
 enum Shape {
-    Named(Vec<String>),
+    Named(Vec<FieldSpec>),
     Tuple(usize),
     Unit,
     UnitEnum(Vec<String>),
@@ -83,6 +91,57 @@ fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
     out
 }
 
+/// Parses the `#[serde(...)]` attributes preceding one named field.
+///
+/// Supported: `default` and `default = "path"`. Anything else inside a
+/// `serde` attribute is rejected so unsupported real-serde options fail
+/// loudly instead of being silently ignored. Non-`serde` attributes (doc
+/// comments etc.) pass through untouched.
+fn field_serde_default(field: &[TokenTree]) -> Result<Option<String>, String> {
+    let mut i = 0usize;
+    let mut default = None;
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (field.get(i), field.get(i + 1))
+    {
+        if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if is_serde {
+            let Some(TokenTree::Group(args)) = inner.get(1) else {
+                return Err("malformed #[serde(...)] attribute".to_string());
+            };
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            match args.as_slice() {
+                [TokenTree::Ident(id)] if id.to_string() == "default" => {
+                    default = Some("::core::default::Default::default".to_string());
+                }
+                [TokenTree::Ident(id), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+                    if id.to_string() == "default" && eq.as_char() == '=' =>
+                {
+                    let raw = lit.to_string();
+                    let path = raw.trim_matches('"');
+                    if path.is_empty() || path.len() == raw.len() {
+                        return Err(format!(
+                            "#[serde(default = ...)] expects a quoted fn path, got {raw}"
+                        ));
+                    }
+                    default = Some(path.to_string());
+                }
+                _ => {
+                    return Err("serde stub derive supports only #[serde(default)] and \
+                         #[serde(default = \"path\")]"
+                        .to_string())
+                }
+            }
+        }
+        i += 2;
+    }
+    Ok(default)
+}
+
 fn parse_input(input: TokenStream) -> Result<Input, String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = skip_attrs_and_vis(&tokens, 0);
@@ -99,9 +158,7 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
     i += 1;
     if let Some(TokenTree::Punct(p)) = tokens.get(i) {
         if p.as_char() == '<' {
-            return Err(format!(
-                "serde stub derive does not support generics on `{name}`"
-            ));
+            return Err(format!("serde stub derive does not support generics on `{name}`"));
         }
     }
 
@@ -111,9 +168,13 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
                 let body: Vec<TokenTree> = g.stream().into_iter().collect();
                 let mut fields = Vec::new();
                 for field in split_commas(&body) {
+                    let default =
+                        field_serde_default(&field).map_err(|e| format!("{e} (in `{name}`)"))?;
                     let j = skip_attrs_and_vis(&field, 0);
                     match field.get(j) {
-                        Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                        Some(TokenTree::Ident(id)) => {
+                            fields.push(FieldSpec { name: id.to_string(), default });
+                        }
                         other => return Err(format!("bad field in `{name}`: {other:?}")),
                     }
                 }
@@ -160,8 +221,9 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
     }
 }
 
-/// Derives `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+/// Derives `serde::Serialize`. The `serde` helper attribute is accepted
+/// (and validated during parsing) but only affects deserialization.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = match parse_input(input) {
         Ok(p) => p,
@@ -173,6 +235,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
                 })
                 .collect();
@@ -180,9 +243,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         }
         Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::Tuple(n) => {
-            let items: Vec<String> = (0..*n)
-                .map(|ix| format!("::serde::Serialize::to_value(&self.{ix})"))
-                .collect();
+            let items: Vec<String> =
+                (0..*n).map(|ix| format!("::serde::Serialize::to_value(&self.{ix})")).collect();
             format!("::serde::Value::Seq(vec![{}])", items.join(", "))
         }
         Shape::Unit => "::serde::Value::Null".to_string(),
@@ -203,8 +265,11 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .unwrap_or_else(|e| compile_error(&format!("serde stub codegen failed: {e}")))
 }
 
-/// Derives `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+/// Derives `serde::Deserialize`, honoring `#[serde(default)]` and
+/// `#[serde(default = "path")]` on named fields (absent keys call the
+/// default instead of erroring, so old payloads stay loadable when a
+/// struct grows a field).
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = match parse_input(input) {
         Ok(p) => p,
@@ -215,7 +280,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::Named(fields) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::get_field(map, {f:?})?"))
+                .map(|f| {
+                    let name = &f.name;
+                    match &f.default {
+                        Some(path) => {
+                            format!("{name}: ::serde::get_field_or(map, {name:?}, {path})?")
+                        }
+                        None => format!("{name}: ::serde::get_field(map, {name:?})?"),
+                    }
+                })
                 .collect();
             format!(
                 "let ::serde::Value::Map(map) = v else {{\n\
@@ -251,10 +324,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
              }}"
         ),
         Shape::UnitEnum(variants) => {
-            let arms: Vec<String> = variants
-                .iter()
-                .map(|var| format!("{var:?} => Ok({name}::{var})"))
-                .collect();
+            let arms: Vec<String> =
+                variants.iter().map(|var| format!("{var:?} => Ok({name}::{var})")).collect();
             format!(
                 "let ::serde::Value::Str(s) = v else {{\n\
                      return Err(::serde::DeError::expected(\"variant string\", v));\n\
