@@ -15,7 +15,7 @@
 
 use minicost::prelude::*;
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -36,6 +36,7 @@ fn main() -> ExitCode {
         "analyze" => analyze(&flags),
         "train" => train(&flags),
         "evaluate" => evaluate(&flags),
+        "serve" => serve_cmd(&flags),
         other => Err(format!("unknown command {other:?}")),
     };
     match result {
@@ -53,7 +54,11 @@ const USAGE: &str = "usage:
   minicost train    --trace trace.csv [--updates U] [--width W] [--seed S] \\
                     [--pricing paper|azure|aws] --out agent.json
   minicost evaluate --trace trace.csv --agent agent.json [--pricing ...] \\
-                    [--workers W]";
+                    [--workers W]
+  minicost serve    --trace trace.csv [--policy hot|cold|greedy | --agent agent.json] \\
+                    [--decide-every N] [--seed S] [--max-tracked K] \\
+                    [--checkpoint snap.json] [--checkpoint-every E] \\
+                    [--max-days D] [--verify-batch true] [--pricing ...]";
 
 type Flags = HashMap<String, String>;
 
@@ -162,6 +167,91 @@ fn train(flags: &Flags) -> Result<(), String> {
         "saved agent to {out} (final optimal-action rate: {})",
         agent.final_optimal_rate().map_or_else(|| "n/a".into(), |r| format!("{:.1}%", r * 100.0))
     );
+    Ok(())
+}
+
+/// `minicost serve`: run a policy online over the trace's event stream
+/// with bounded-memory statistics and optional checkpoint/restore. With
+/// `--verify-batch true` the streamed ledgers are compared against the
+/// batch simulator and a mismatch fails the command — the CI smoke job's
+/// equivalence gate.
+fn serve_cmd(flags: &Flags) -> Result<(), String> {
+    let trace = load_trace(flags)?;
+    let model = pricing(flags)?;
+    let seed = flag(flags, "seed", 0u64)?;
+    let decide_every = flag(flags, "decide-every", 1usize)?;
+
+    let mut policy: Box<dyn Policy> = match flags.get("agent") {
+        Some(agent_path) => {
+            let agent =
+                MiniCost::load(Path::new(agent_path)).map_err(|e| format!("{agent_path}: {e}"))?;
+            Box::new(agent.policy())
+        }
+        None => match flags.get("policy").map_or("greedy", String::as_str) {
+            "hot" => Box::new(HotPolicy),
+            "cold" => Box::new(ColdPolicy),
+            "greedy" => Box::new(GreedyPolicy),
+            other => return Err(format!("unknown policy {other:?} (hot|cold|greedy)")),
+        },
+    };
+
+    let max_tracked = match flags.get("max-tracked") {
+        None => None,
+        Some(v) => Some(v.parse::<usize>().map_err(|e| format!("--max-tracked {v:?}: {e}"))?),
+    };
+    let max_days = match flags.get("max-days") {
+        None => None,
+        Some(v) => Some(v.parse::<usize>().map_err(|e| format!("--max-days {v:?}: {e}"))?),
+    };
+    let cfg = ServeConfig {
+        decide_every,
+        seed,
+        max_tracked,
+        checkpoint_every: flag(flags, "checkpoint-every", 0u64)?,
+        checkpoint_path: flags.get("checkpoint").map(PathBuf::from),
+        max_days,
+        ..ServeConfig::default()
+    };
+
+    let report = serve(&trace, &model, policy.as_mut(), &cfg).map_err(|e| e.to_string())?;
+    if let Some(day) = report.resumed_from_day {
+        println!("resumed from checkpoint at day {day}");
+    }
+    println!(
+        "served {} files through day {} ({} decision epochs, {} checkpoints): \
+         total cost {} | {} tier changes | {:.2} ms deciding",
+        trace.len(),
+        report.days_served_through,
+        report.epochs,
+        report.checkpoints_written,
+        report.result.total_cost(),
+        report.result.tier_changes,
+        report.result.total_decision_millis(),
+    );
+
+    if flag(flags, "verify-batch", false)? {
+        let workers = flag(flags, "workers", default_workers())?;
+        let sim_cfg = SimConfig::builder()
+            .seed(seed)
+            .decide_every(decide_every)
+            .workers(workers)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let horizon = cfg.max_days.map_or(trace.days, |m| m.min(trace.days));
+        let batch = simulate(&trace, &model, policy.as_mut(), &sim_cfg);
+        let daily_match = report.result.daily == batch.daily[..horizon.min(batch.daily.len())];
+        let per_file_match = horizon == trace.days && report.result.per_file == batch.per_file;
+        let full = horizon == trace.days;
+        let ok = if full { daily_match && per_file_match } else { daily_match };
+        if !ok {
+            return Err(format!(
+                "streamed ledgers diverge from batch: streamed {} vs batch {}",
+                report.result.total_cost(),
+                batch.total_cost()
+            ));
+        }
+        println!("verified: streamed ledgers are bit-identical to batch (workers={workers})");
+    }
     Ok(())
 }
 

@@ -58,8 +58,19 @@ impl FeatureConfig {
     /// total: any `day <= file.days()` is valid.
     #[must_use]
     pub fn encode(&self, file: &FileSeries, day: usize, tier: Tier) -> Vec<f64> {
-        assert!(day <= file.days(), "day beyond series");
         let mut out = Vec::with_capacity(self.state_dim());
+        self.encode_into(&mut out, file, day, tier);
+        out
+    }
+
+    /// Appends the feature vector for `file` on `day` in `tier` to `out`,
+    /// reusing `out`'s existing allocation. This is the batch-assembly
+    /// workhorse: encoding a fleet into one flat buffer costs a single
+    /// amortized allocation instead of one `Vec` per file.
+    pub fn encode_into(&self, out: &mut Vec<f64>, file: &FileSeries, day: usize, tier: Tier) {
+        assert!(day <= file.days(), "day beyond series");
+        let start = out.len();
+        out.reserve(self.state_dim());
 
         // Mean over the observed prefix (not the future!) for normalization.
         let observed = &file.reads[..day];
@@ -102,8 +113,7 @@ impl FeatureConfig {
         for t in Tier::all() {
             out.push(if t == tier { 1.0 } else { 0.0 });
         }
-        debug_assert_eq!(out.len(), self.state_dim());
-        out
+        debug_assert_eq!(out.len() - start, self.state_dim());
     }
 }
 
@@ -224,6 +234,20 @@ mod tests {
         let f = file(vec![3, 1, 4, 1, 5]);
         let cfg = FeatureConfig::default();
         assert_eq!(cfg.encode(&f, 5, Tier::Cool), cfg.encode(&f, 5, Tier::Cool));
+    }
+
+    #[test]
+    fn encode_into_appends_and_matches_encode() {
+        let a = file(vec![3, 1, 4, 1, 5, 9, 2]);
+        let b = file(vec![2, 7, 1, 8, 2, 8, 1]);
+        let cfg = FeatureConfig { window: 4 };
+        let mut buf = Vec::new();
+        cfg.encode_into(&mut buf, &a, 6, Tier::Hot);
+        cfg.encode_into(&mut buf, &b, 6, Tier::Archive);
+        let mut expect = cfg.encode(&a, 6, Tier::Hot);
+        expect.extend(cfg.encode(&b, 6, Tier::Archive));
+        assert_eq!(buf, expect, "appended encodings must match per-file vectors bit-for-bit");
+        assert_eq!(buf.len(), 2 * cfg.state_dim());
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //! * [`train`] — the end-to-end pipeline: trace → environment → A3C →
 //!   deployable [`policy::RlPolicy`].
 //! * [`aggregate`] — the §5.2 concurrent-request aggregation enhancement.
+//! * [`serve`] — the online serving loop: streamed events drive bounded
+//!   online statistics, policy decisions, exact incremental ledgers, and
+//!   atomic checkpoint/restore (bit-identical to [`sim`] in exact mode).
 //! * [`metrics`] — per-bucket cost attribution and overhead timing.
 //! * [`predictive`] — the forecast-then-optimize planner the paper's §3.2
 //!   argues against, made executable.
@@ -67,6 +70,7 @@ pub mod multi;
 pub mod optimal;
 pub mod policy;
 pub mod predictive;
+pub mod serve;
 pub mod sim;
 pub mod train;
 
@@ -88,6 +92,7 @@ pub mod prelude {
         SingleTierPolicy,
     };
     pub use crate::predictive::PredictivePolicy;
+    pub use crate::serve::{serve, ServeConfig, ServeError, ServeReport};
     pub use crate::sim::{
         default_workers, simulate, SimConfig, SimConfigBuilder, SimConfigError, SimResult,
     };

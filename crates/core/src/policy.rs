@@ -331,7 +331,7 @@ impl Policy for RlPolicy {
         let dim = self.features.state_dim();
         let mut states = Vec::with_capacity(ctx.len() * dim);
         for slot in 0..ctx.len() {
-            states.extend(self.features.encode(ctx.file(slot), ctx.day, ctx.current[slot]));
+            self.features.encode_into(&mut states, ctx.file(slot), ctx.day, ctx.current[slot]);
         }
         let batch = nn::Matrix::from_vec(ctx.len(), dim, states);
         let logits = self.actor.forward(&batch);

@@ -80,6 +80,66 @@ impl std::iter::Sum for CostBreakdown {
     }
 }
 
+/// An incrementally-accrued billing ledger: per-day component breakdowns
+/// plus an exact running total, maintained one charging day at a time.
+///
+/// This is the online counterpart of summing a finished simulation's
+/// `daily` vector: a serving loop accrues each day's [`CostBreakdown`] as
+/// it closes and can snapshot/restore the ledger mid-run. Because
+/// [`Money`] is integer micro-dollars, the running total always equals the
+/// sum of the daily entries bit-for-bit, in any accrual order.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostLedger {
+    daily: Vec<CostBreakdown>,
+    running: CostBreakdown,
+}
+
+impl CostLedger {
+    /// An empty ledger with no days accrued.
+    #[must_use]
+    pub fn new() -> CostLedger {
+        CostLedger::default()
+    }
+
+    /// Closes one charging day: appends `day` and folds it into the running
+    /// total.
+    pub fn accrue(&mut self, day: CostBreakdown) {
+        self.daily.push(day);
+        self.running += day;
+    }
+
+    /// Number of days accrued so far.
+    #[must_use]
+    pub fn days(&self) -> usize {
+        self.daily.len()
+    }
+
+    /// The per-day breakdowns accrued so far, oldest first.
+    #[must_use]
+    pub fn daily(&self) -> &[CostBreakdown] {
+        &self.daily
+    }
+
+    /// The running component totals across every accrued day.
+    #[must_use]
+    pub fn running(&self) -> CostBreakdown {
+        self.running
+    }
+
+    /// Total money accrued across every day and component.
+    #[must_use]
+    pub fn total(&self) -> Money {
+        self.running.total()
+    }
+
+    /// Consumes the ledger into its per-day breakdown vector (the shape a
+    /// finished simulation reports).
+    #[must_use]
+    pub fn into_daily(self) -> Vec<CostBreakdown> {
+        self.daily
+    }
+}
+
 /// Evaluates the paper's cost model against a pricing policy.
 #[derive(Clone, Debug)]
 pub struct CostModel {
@@ -238,6 +298,32 @@ mod tests {
         for tier in Tier::all() {
             assert_eq!(m.steady_day_cost(0.0, 0, 0, tier), Money::ZERO);
         }
+    }
+
+    #[test]
+    fn ledger_running_total_matches_daily_sum() {
+        let m = model();
+        let mut ledger = CostLedger::new();
+        assert_eq!(ledger.total(), Money::ZERO);
+        let days = [
+            FileDay::steady(0.1, 10, 1, Tier::Hot),
+            FileDay::steady(0.2, 0, 0, Tier::Archive),
+            FileDay {
+                size_gb: 0.5,
+                reads: 9,
+                writes: 2,
+                tier: Tier::Cool,
+                changed_from: Some(Tier::Hot),
+            },
+        ];
+        for d in &days {
+            ledger.accrue(m.day_breakdown(d));
+        }
+        assert_eq!(ledger.days(), 3);
+        let summed: CostBreakdown = ledger.daily().iter().copied().sum();
+        assert_eq!(ledger.running(), summed);
+        assert_eq!(ledger.total(), summed.total());
+        assert_eq!(ledger.clone().into_daily().len(), 3);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod money;
 pub mod policy;
 pub mod tier;
 
-pub use cost::{CostBreakdown, CostModel, FileDay};
+pub use cost::{CostBreakdown, CostLedger, CostModel, FileDay};
 pub use money::Money;
 pub use policy::{PricingPolicy, TierPrices};
 pub use tier::{Tier, TierSet, TIER_COUNT};

@@ -1,0 +1,220 @@
+//! Versioned, atomically-written snapshots of serving state.
+//!
+//! A [`Snapshot`] captures everything the online decision loop needs to
+//! resume bit-identically after a crash: the fleet's current tiers, the
+//! accrued cost ledgers, the online statistics (exact or bounded), and the
+//! stream cursor. There is **no RNG cursor** to save — event expansion is
+//! seeded statelessly per `(file, day)` (see [`crate::event`]), so
+//! restarting the stream at `next_day` reproduces the exact event suffix.
+//!
+//! Writes are crash-safe in the classic way: serialize to a sibling
+//! `*.tmp` file, sync, then `rename` over the target — a reader never
+//! observes a half-written snapshot. Loads validate [`SNAPSHOT_VERSION`]
+//! before trusting any field (DESIGN.md §10).
+
+use crate::bounded::BoundedStats;
+use crate::stats::ExactStats;
+use pricing::{CostLedger, Money, Tier, TIER_COUNT};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Current snapshot schema version. Bump on any incompatible change to
+/// [`Snapshot`]; loads of other versions are rejected rather than
+/// misinterpreted.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The complete serialized serving state at a decision-epoch boundary.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Schema version; must equal [`SNAPSHOT_VERSION`] to load.
+    pub version: u32,
+    /// Name of the policy that produced the decisions (sanity-checked on
+    /// restore so a snapshot is never resumed under a different policy).
+    pub policy_name: String,
+    /// Stream seed the event expansion is keyed on.
+    pub seed: u64,
+    /// First day not yet ingested; the restored stream starts here.
+    pub next_day: usize,
+    /// Decision epochs completed so far.
+    pub epoch: u64,
+    /// Decision cadence in days.
+    pub decide_every: usize,
+    /// Feature window in days.
+    pub window: usize,
+    /// Tier every file started in.
+    pub initial_tier: Tier,
+    /// Current tier per file, indexed by file id.
+    pub tiers: Vec<Tier>,
+    /// Fleet-wide accrued cost ledger.
+    pub ledger: CostLedger,
+    /// Accrued cost per file, indexed by file id.
+    pub per_file: Vec<Money>,
+    /// Per-day tier occupancy counts.
+    pub occupancy: Vec<[usize; TIER_COUNT]>,
+    /// Total tier transitions applied so far.
+    pub tier_changes: u64,
+    /// Wall-clock milliseconds spent in each decision epoch.
+    pub decision_millis: Vec<f64>,
+    /// Exact online statistics (present in exact mode).
+    #[serde(default)]
+    pub exact: Option<ExactStats>,
+    /// Bounded online statistics (present in bounded mode).
+    #[serde(default)]
+    pub bounded: Option<BoundedStats>,
+}
+
+/// Why a snapshot failed to save or load.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Filesystem error (message carries the OS detail).
+    Io(String),
+    /// The file was readable but not a valid snapshot document.
+    Parse(String),
+    /// The file is a snapshot from a different schema version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(msg) => write!(f, "snapshot io error: {msg}"),
+            SnapshotError::Parse(msg) => write!(f, "snapshot parse error: {msg}"),
+            SnapshotError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found} incompatible with expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl Snapshot {
+    /// Serializes and writes this snapshot atomically: the bytes land in a
+    /// sibling `<name>.tmp` first and are `rename`d over `path` only after
+    /// a successful sync, so `path` always holds a complete snapshot.
+    pub fn save_atomic(&self, path: &Path) -> Result<(), SnapshotError> {
+        let json = serde_json::to_string(self).map_err(|e| SnapshotError::Parse(e.to_string()))?;
+        let file_name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| SnapshotError::Io(format!("bad snapshot path {}", path.display())))?;
+        let tmp = path.with_file_name(format!("{file_name}.tmp"));
+        {
+            let mut f =
+                std::fs::File::create(&tmp).map_err(|e| SnapshotError::Io(e.to_string()))?;
+            f.write_all(json.as_bytes()).map_err(|e| SnapshotError::Io(e.to_string()))?;
+            f.sync_all().map_err(|e| SnapshotError::Io(e.to_string()))?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| SnapshotError::Io(e.to_string()))
+    }
+
+    /// Loads and validates a snapshot written by [`Snapshot::save_atomic`].
+    pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
+        let json = std::fs::read_to_string(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        let snap: Snapshot =
+            serde_json::from_str(&json).map_err(|e| SnapshotError::Parse(e.to_string()))?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                found: snap.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ExactStats;
+    use pricing::CostBreakdown;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("minicost-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> Snapshot {
+        let mut ledger = CostLedger::new();
+        ledger.accrue(CostBreakdown::default());
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            policy_name: "greedy".to_string(),
+            seed: 42,
+            next_day: 6,
+            epoch: 2,
+            decide_every: 3,
+            window: 7,
+            initial_tier: Tier::Hot,
+            tiers: vec![Tier::Hot, Tier::Archive],
+            ledger,
+            per_file: vec![Money::from_micros(10), Money::from_micros(0)],
+            occupancy: vec![[2, 0, 0]; 6],
+            tier_changes: 1,
+            decision_millis: vec![0.5, 0.25],
+            exact: Some(ExactStats::new(7, 2)),
+            bounded: None,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let path = scratch("round-trip.json");
+        let snap = sample();
+        snap.save_atomic(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        assert_eq!(back, snap);
+        // The temp sibling must not linger after a successful save.
+        assert!(!path.with_file_name("round-trip.json.tmp").exists());
+    }
+
+    #[test]
+    fn save_overwrites_previous_snapshot_atomically() {
+        let path = scratch("overwrite.json");
+        let mut snap = sample();
+        snap.save_atomic(&path).unwrap();
+        snap.next_day = 9;
+        snap.epoch = 3;
+        snap.save_atomic(&path).unwrap();
+        assert_eq!(Snapshot::load(&path).unwrap().next_day, 9);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let path = scratch("versioned.json");
+        let snap = sample();
+        snap.save_atomic(&path).unwrap();
+        let doctored = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace(&format!("\"version\":{SNAPSHOT_VERSION}"), "\"version\":999");
+        std::fs::write(&path, doctored).unwrap();
+        match Snapshot::load(&path) {
+            Err(SnapshotError::VersionMismatch { found, expected }) => {
+                assert_eq!((found, expected), (999, SNAPSHOT_VERSION));
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_and_corrupt_files_error_cleanly() {
+        assert!(matches!(
+            Snapshot::load(&scratch("does-not-exist.json")),
+            Err(SnapshotError::Io(_))
+        ));
+        let path = scratch("corrupt.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(matches!(Snapshot::load(&path), Err(SnapshotError::Parse(_))));
+        let err = SnapshotError::Parse("x".into());
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! Streaming request events.
+//!
+//! [`EventStream`] adapts a daily-resolution trace into the hourly request
+//! stream a live ingestion tier would observe: for each day it splits every
+//! file's daily read/write counts across 24 hours under a diurnal profile
+//! (total-conserving, Poisson-jittered — the same apportionment as
+//! [`tracegen::HourSplits`]) and emits one [`Event`] per active file-hour
+//! in time order. Only one day of splits is ever resident, and the
+//! expansion is seeded **statelessly per (file, day)**, so a restarted
+//! consumer can resume at any day boundary and observe bit-identical
+//! events — the property the checkpoint/restore contract of DESIGN.md §10
+//! rests on.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tracegen::{DiurnalProfile, FileId, Trace, HOURS};
+
+/// Bytes per GB used when stamping [`Event::bytes`] from a file's
+/// gigabyte-denominated catalog size.
+const BYTES_PER_GB: f64 = 1e9;
+
+/// Domain-separation constant for read-count hour splits.
+const READ_DOMAIN: u64 = 0x5245_4144_5245_4144; // "READREAD"
+
+/// Domain-separation constant for write-count hour splits.
+const WRITE_DOMAIN: u64 = 0x5752_4954_5752_4954; // "WRITWRIT"
+
+/// One observed file-hour of request activity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Global hour index: `day * 24 + hour_of_day`.
+    pub hour: u64,
+    /// The file the requests hit.
+    pub file: FileId,
+    /// Read operations observed this hour.
+    pub reads: u64,
+    /// Write operations observed this hour.
+    pub writes: u64,
+    /// The file's size in bytes (catalog metadata carried on every event so
+    /// a stateless consumer can learn sizes from the stream alone).
+    pub bytes: u64,
+}
+
+impl Event {
+    /// The day this event belongs to.
+    #[must_use]
+    pub fn day(&self) -> usize {
+        (self.hour / HOURS as u64) as usize
+    }
+}
+
+/// The per-(file, day) RNG seed for hour apportionment: a stateless mix of
+/// the stream seed, the file id, the day, and a read/write domain tag.
+fn split_seed(seed: u64, id: FileId, day: usize, domain: u64) -> u64 {
+    crate::mix64(seed ^ crate::mix64(u64::from(id.0).wrapping_add(domain)) ^ (day as u64) << 1)
+}
+
+/// One file's hour splits for the day currently being emitted.
+#[derive(Clone, Debug)]
+struct FileDaySplit {
+    ix: usize,
+    bytes: u64,
+    reads: [u64; HOURS],
+    writes: [u64; HOURS],
+}
+
+/// A seeded, time-ordered iterator of [`Event`]s over a trace.
+///
+/// Events are ordered by `hour`, ties broken by ascending [`FileId`];
+/// file-hours with zero activity are skipped. Memory held is one day of
+/// splits for the files active that day — never the full fleet matrix.
+#[derive(Debug)]
+pub struct EventStream<'a> {
+    trace: &'a Trace,
+    profile: DiurnalProfile,
+    seed: u64,
+    day: usize,
+    hour: usize,
+    cursor: usize,
+    splits: Vec<FileDaySplit>,
+}
+
+impl<'a> EventStream<'a> {
+    /// Starts a stream over `trace` from day 0 under `profile`, seeded by
+    /// `seed`.
+    #[must_use]
+    pub fn new(trace: &'a Trace, profile: DiurnalProfile, seed: u64) -> EventStream<'a> {
+        EventStream::starting_at(trace, profile, seed, 0)
+    }
+
+    /// Starts a stream at day `day` (used to resume after a checkpoint
+    /// restore). Because splits are seeded per (file, day), the events from
+    /// `day` onward are bit-identical to a stream that ran from day 0.
+    #[must_use]
+    pub fn starting_at(
+        trace: &'a Trace,
+        profile: DiurnalProfile,
+        seed: u64,
+        day: usize,
+    ) -> EventStream<'a> {
+        let mut stream =
+            EventStream { trace, profile, seed, day, hour: 0, cursor: 0, splits: Vec::new() };
+        stream.fill_day();
+        stream
+    }
+
+    /// The day the next emitted event will belong to (saturates at the
+    /// horizon once the stream is exhausted).
+    #[must_use]
+    pub fn current_day(&self) -> usize {
+        self.day
+    }
+
+    /// Computes the hour splits for every file active on `self.day`.
+    fn fill_day(&mut self) {
+        self.splits.clear();
+        self.cursor = 0;
+        self.hour = 0;
+        if self.day >= self.trace.days {
+            return;
+        }
+        for (ix, file) in self.trace.files.iter().enumerate() {
+            let day_reads = file.reads.get(self.day).copied().unwrap_or(0);
+            let day_writes = file.writes.get(self.day).copied().unwrap_or(0);
+            if day_reads == 0 && day_writes == 0 {
+                continue;
+            }
+            let mut read_rng =
+                StdRng::seed_from_u64(split_seed(self.seed, file.id, self.day, READ_DOMAIN));
+            let mut write_rng =
+                StdRng::seed_from_u64(split_seed(self.seed, file.id, self.day, WRITE_DOMAIN));
+            self.splits.push(FileDaySplit {
+                ix,
+                bytes: (file.size_gb * BYTES_PER_GB).max(0.0) as u64,
+                reads: self.profile.split_day(day_reads, Some(&mut read_rng)),
+                writes: self.profile.split_day(day_writes, Some(&mut write_rng)),
+            });
+        }
+    }
+}
+
+impl Iterator for EventStream<'_> {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        loop {
+            if self.day >= self.trace.days {
+                return None;
+            }
+            while self.hour < HOURS {
+                while self.cursor < self.splits.len() {
+                    let split = &self.splits[self.cursor];
+                    let (reads, writes) = (split.reads[self.hour], split.writes[self.hour]);
+                    self.cursor += 1;
+                    if reads == 0 && writes == 0 {
+                        continue;
+                    }
+                    return Some(Event {
+                        hour: (self.day * HOURS + self.hour) as u64,
+                        file: self.trace.files[split.ix].id,
+                        reads,
+                        writes,
+                        bytes: split.bytes,
+                    });
+                }
+                self.hour += 1;
+                self.cursor = 0;
+            }
+            self.day += 1;
+            self.fill_day();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use tracegen::TraceConfig;
+
+    fn trace() -> Trace {
+        Trace::generate(&TraceConfig::small(12, 9, 41))
+    }
+
+    #[test]
+    fn events_conserve_daily_totals_exactly() {
+        let t = trace();
+        let mut reads: BTreeMap<(usize, u32), u64> = BTreeMap::new();
+        let mut writes: BTreeMap<(usize, u32), u64> = BTreeMap::new();
+        for ev in EventStream::new(&t, DiurnalProfile::web_default(), 7) {
+            *reads.entry((ev.day(), ev.file.0)).or_insert(0) += ev.reads;
+            *writes.entry((ev.day(), ev.file.0)).or_insert(0) += ev.writes;
+        }
+        for file in &t.files {
+            for day in 0..t.days {
+                let key = (day, file.id.0);
+                assert_eq!(reads.get(&key).copied().unwrap_or(0), file.reads[day]);
+                assert_eq!(writes.get(&key).copied().unwrap_or(0), file.writes[day]);
+            }
+        }
+    }
+
+    #[test]
+    fn events_are_time_ordered_with_id_tiebreak() {
+        let t = trace();
+        let events: Vec<Event> = EventStream::new(&t, DiurnalProfile::web_default(), 3).collect();
+        assert!(!events.is_empty());
+        for pair in events.windows(2) {
+            assert!(
+                pair[0].hour < pair[1].hour
+                    || (pair[0].hour == pair[1].hour && pair[0].file < pair[1].file),
+                "{:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // Every event carries some activity and a size.
+        assert!(events.iter().all(|e| e.reads + e.writes > 0));
+        assert!(events.iter().all(|e| e.bytes > 0));
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_seed_sensitive() {
+        let t = trace();
+        let p = DiurnalProfile::web_default;
+        let a: Vec<Event> = EventStream::new(&t, p(), 9).collect();
+        let b: Vec<Event> = EventStream::new(&t, p(), 9).collect();
+        let c: Vec<Event> = EventStream::new(&t, p(), 10).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "seed must shuffle the hourly apportionment");
+    }
+
+    #[test]
+    fn starting_mid_horizon_matches_the_suffix() {
+        let t = trace();
+        let p = DiurnalProfile::web_default;
+        let full: Vec<Event> = EventStream::new(&t, p(), 5).collect();
+        let resume_day = 4;
+        let resumed: Vec<Event> = EventStream::starting_at(&t, p(), 5, resume_day).collect();
+        let suffix: Vec<Event> = full.into_iter().filter(|e| e.day() >= resume_day).collect();
+        assert_eq!(resumed, suffix, "restart at a day boundary must be bit-identical");
+    }
+
+    #[test]
+    fn empty_and_exhausted_streams_terminate() {
+        let empty = Trace { days: 0, files: vec![] };
+        assert_eq!(EventStream::new(&empty, DiurnalProfile::flat(), 1).count(), 0);
+        let t = trace();
+        let past_end = EventStream::starting_at(&t, DiurnalProfile::flat(), 1, t.days + 3);
+        assert_eq!(past_end.count(), 0);
+    }
+}

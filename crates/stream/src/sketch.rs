@@ -1,0 +1,331 @@
+//! Sublinear frequency summaries for fleets too large for exact state.
+//!
+//! Two classic streaming structures back the bounded-memory mode:
+//!
+//! * [`CountMinSketch`] — a `depth × width` grid of saturating counters.
+//!   Point queries never *under*-estimate; the overestimate is bounded by
+//!   colliding mass, shrinking as `width` grows (Cormode & Muthukrishnan).
+//! * [`SpaceSaving`] — the top-`k` heavy-hitter summary (Metwally et al.):
+//!   at most `capacity` tracked ids, each with an exact-or-overestimated
+//!   count and the overestimation bound it inherited at admission.
+//!
+//! Both are deterministic: hashing derives from [`crate::mix64`] with an
+//! explicit seed, never from the process-randomized std hasher, and
+//! eviction ties break on ascending id. That keeps bounded-mode decisions
+//! reproducible across runs and across checkpoint restores.
+
+use crate::mix64;
+use serde::{Deserialize, Serialize};
+
+/// A count-min sketch over `u64` keys with saturating counters.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    seed: u64,
+    rows: Vec<u64>,
+}
+
+impl CountMinSketch {
+    /// A sketch with `depth` rows of `width` counters (both clamped to at
+    /// least 1), hashed under `seed`.
+    #[must_use]
+    pub fn new(width: usize, depth: usize, seed: u64) -> CountMinSketch {
+        let width = width.max(1);
+        let depth = depth.max(1);
+        CountMinSketch { width, depth, seed, rows: vec![0; width * depth] }
+    }
+
+    /// Counters per row.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of independent hash rows.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The flat cell index of `key` in `row`.
+    fn cell(&self, row: usize, key: u64) -> usize {
+        let h = mix64(key ^ mix64(self.seed.wrapping_add(row as u64 + 1)));
+        row * self.width + (h % self.width as u64) as usize
+    }
+
+    /// Adds `count` to `key` in every row (saturating).
+    pub fn add(&mut self, key: u64, count: u64) {
+        for row in 0..self.depth {
+            let ix = self.cell(row, key);
+            self.rows[ix] = self.rows[ix].saturating_add(count);
+        }
+    }
+
+    /// The point estimate for `key`: minimum over rows. Never less than the
+    /// true count added for `key` (absent counter saturation).
+    #[must_use]
+    pub fn estimate(&self, key: u64) -> u64 {
+        let mut est = u64::MAX;
+        for row in 0..self.depth {
+            est = est.min(self.rows[self.cell(row, key)]);
+        }
+        est
+    }
+
+    /// Zeroes every counter, keeping the geometry and seed.
+    pub fn clear(&mut self) {
+        for cell in &mut self.rows {
+            *cell = 0;
+        }
+    }
+}
+
+/// One tracked heavy hitter in a [`SpaceSaving`] summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceSavingEntry {
+    /// The tracked key.
+    pub id: u32,
+    /// Estimated count: true count plus at most [`Self::overestimate`].
+    pub count: u64,
+    /// Upper bound on how much [`Self::count`] overestimates, inherited
+    /// from the entry evicted at admission time (0 for keys tracked since
+    /// their first occurrence).
+    pub overestimate: u64,
+}
+
+/// A deterministic space-saving heavy-hitter summary over `u32` keys.
+///
+/// Entries are kept sorted by ascending id; eviction picks the minimum
+/// count, breaking ties on the smallest id, so the summary's evolution is
+/// a pure function of the update sequence.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceSaving {
+    capacity: usize,
+    entries: Vec<SpaceSavingEntry>,
+}
+
+impl SpaceSaving {
+    /// A summary tracking at most `capacity` keys (clamped to at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> SpaceSaving {
+        SpaceSaving { capacity: capacity.max(1), entries: Vec::new() }
+    }
+
+    /// Maximum number of tracked keys.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently tracked keys, ascending by id.
+    #[must_use]
+    pub fn entries(&self) -> &[SpaceSavingEntry] {
+        &self.entries
+    }
+
+    /// Adds `count` occurrences of `id`, evicting the current minimum if
+    /// the summary is full and `id` is untracked.
+    pub fn add(&mut self, id: u32, count: u64) {
+        match self.entries.binary_search_by_key(&id, |e| e.id) {
+            Ok(pos) => {
+                self.entries[pos].count = self.entries[pos].count.saturating_add(count);
+            }
+            Err(pos) if self.entries.len() < self.capacity => {
+                self.entries.insert(pos, SpaceSavingEntry { id, count, overestimate: 0 });
+            }
+            Err(_) => {
+                let mut min_pos = 0;
+                for (i, e) in self.entries.iter().enumerate() {
+                    if e.count < self.entries[min_pos].count {
+                        min_pos = i;
+                    }
+                }
+                let floor = self.entries[min_pos].count;
+                self.entries.remove(min_pos);
+                let ins = match self.entries.binary_search_by_key(&id, |e| e.id) {
+                    Ok(pos) | Err(pos) => pos,
+                };
+                self.entries.insert(
+                    ins,
+                    SpaceSavingEntry {
+                        id,
+                        count: floor.saturating_add(count),
+                        overestimate: floor,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The tracked estimate for `id`, if currently tracked.
+    #[must_use]
+    pub fn get(&self, id: u32) -> Option<SpaceSavingEntry> {
+        self.entries.binary_search_by_key(&id, |e| e.id).ok().map(|pos| self.entries[pos])
+    }
+
+    /// The `k` heaviest tracked entries, descending by count, ties broken
+    /// by ascending id.
+    #[must_use]
+    pub fn top(&self, k: usize) -> Vec<SpaceSavingEntry> {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by(|a, b| b.count.cmp(&a.count).then(a.id.cmp(&b.id)));
+        sorted.truncate(k);
+        sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn cms_never_underestimates() {
+        let mut cms = CountMinSketch::new(64, 4, 11);
+        let mut truth: BTreeMap<u64, u64> = BTreeMap::new();
+        for i in 0..500u64 {
+            let key = i % 37;
+            let count = 1 + i % 5;
+            cms.add(key, count);
+            *truth.entry(key).or_insert(0) += count;
+        }
+        for (&key, &count) in &truth {
+            assert!(cms.estimate(key) >= count, "key {key}: {} < {count}", cms.estimate(key));
+        }
+        assert_eq!(cms.estimate(999_999), 0, "wide sketch, untouched key should read 0");
+    }
+
+    #[test]
+    fn cms_clear_resets_counts_only() {
+        let mut cms = CountMinSketch::new(8, 2, 1);
+        cms.add(3, 10);
+        assert!(cms.estimate(3) >= 10);
+        cms.clear();
+        assert_eq!(cms.estimate(3), 0);
+        assert_eq!((cms.width(), cms.depth()), (8, 2));
+    }
+
+    #[test]
+    fn cms_is_seed_deterministic() {
+        let mut a = CountMinSketch::new(32, 3, 7);
+        let mut b = CountMinSketch::new(32, 3, 7);
+        for i in 0..100 {
+            a.add(i, i + 1);
+            b.add(i, i + 1);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn space_saving_tracks_heavy_hitters_exactly_when_under_capacity() {
+        let mut ss = SpaceSaving::new(4);
+        ss.add(7, 10);
+        ss.add(3, 5);
+        ss.add(7, 1);
+        let e = ss.get(7).unwrap();
+        assert_eq!((e.count, e.overestimate), (11, 0));
+        assert_eq!(ss.top(1)[0].id, 7);
+    }
+
+    #[test]
+    fn space_saving_eviction_inherits_floor_and_bounds_error() {
+        let mut ss = SpaceSaving::new(2);
+        ss.add(1, 10);
+        ss.add(2, 3);
+        ss.add(5, 1); // evicts id 2 (min count 3): count = 3 + 1, overestimate = 3
+        assert!(ss.get(2).is_none());
+        let e = ss.get(5).unwrap();
+        assert_eq!((e.count, e.overestimate), (4, 3));
+        // True count of 5 is 1; count - overestimate <= true <= count.
+        assert!(e.count - e.overestimate <= 1 && 1 <= e.count);
+    }
+
+    #[test]
+    fn space_saving_eviction_tie_breaks_on_smallest_id() {
+        let mut ss = SpaceSaving::new(2);
+        ss.add(4, 2);
+        ss.add(9, 2);
+        ss.add(1, 1); // tie at count 2; id 4 (smallest) is evicted
+        assert!(ss.get(4).is_none());
+        assert!(ss.get(9).is_some());
+        assert_eq!(ss.get(1).unwrap().overestimate, 2);
+    }
+
+    #[test]
+    fn space_saving_entries_stay_id_sorted_and_top_orders_by_count() {
+        let mut ss = SpaceSaving::new(8);
+        for (id, n) in [(9u32, 2u64), (1, 7), (5, 7), (3, 1)] {
+            ss.add(id, n);
+        }
+        let ids: Vec<u32> = ss.entries().iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+        let top: Vec<u32> = ss.top(3).iter().map(|e| e.id).collect();
+        assert_eq!(top, vec![1, 5, 9], "count desc, id asc on ties");
+    }
+
+    #[test]
+    fn sketches_serialize_round_trip() {
+        let mut cms = CountMinSketch::new(16, 3, 5);
+        cms.add(12, 34);
+        let cms2: CountMinSketch =
+            serde_json::from_str(&serde_json::to_string(&cms).unwrap()).unwrap();
+        assert_eq!(cms2, cms);
+
+        let mut ss = SpaceSaving::new(3);
+        ss.add(8, 2);
+        ss.add(1, 9);
+        let ss2: SpaceSaving = serde_json::from_str(&serde_json::to_string(&ss).unwrap()).unwrap();
+        assert_eq!(ss2, ss);
+    }
+
+    proptest! {
+        /// The count-min invariant: estimates never fall below the true
+        /// count, and never exceed the total mass inserted into the sketch
+        /// (each cell only ever accumulates a subset of the stream).
+        #[test]
+        fn cms_overestimation_is_bounded(
+            updates in proptest::collection::vec((0u64..50, 1u64..20), 1..200),
+            width in 4usize..128,
+            depth in 1usize..5,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut cms = CountMinSketch::new(width, depth, seed);
+            let mut truth: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut total = 0u64;
+            for &(key, count) in &updates {
+                cms.add(key, count);
+                *truth.entry(key).or_insert(0) += count;
+                total += count;
+            }
+            for (&key, &count) in &truth {
+                let est = cms.estimate(key);
+                prop_assert!(est >= count);
+                prop_assert!(est <= total);
+            }
+        }
+
+        /// The space-saving invariant: for every tracked id,
+        /// `count - overestimate <= true count <= count`, and the summary
+        /// never exceeds its capacity.
+        #[test]
+        fn space_saving_error_bounds_hold(
+            updates in proptest::collection::vec((0u32..30, 1u64..10), 1..150),
+            capacity in 1usize..12,
+        ) {
+            let mut ss = SpaceSaving::new(capacity);
+            let mut truth: BTreeMap<u32, u64> = BTreeMap::new();
+            for &(id, count) in &updates {
+                ss.add(id, count);
+                *truth.entry(id).or_insert(0) += count;
+            }
+            prop_assert!(ss.entries().len() <= capacity);
+            for e in ss.entries() {
+                let true_count = truth.get(&e.id).copied().unwrap_or(0);
+                prop_assert!(e.count >= true_count);
+                prop_assert!(e.count - e.overestimate <= true_count);
+            }
+        }
+    }
+}

@@ -66,6 +66,11 @@ impl DiurnalProfile {
     /// Splits `total` daily requests into 24 hourly counts that sum exactly
     /// to `total` (largest-remainder apportionment of the expected values,
     /// with optional Poisson jitter from `rng`).
+    ///
+    /// Allocation-free: both scratch tables are fixed-size arrays, so the
+    /// per-day hot loop of [`HourSplits`] / [`HourlySeries::expand`] never
+    /// touches the heap. Ties in the largest-remainder pass break toward
+    /// the earlier hour, matching the former stable-sort behaviour exactly.
     #[must_use]
     pub fn split_day(&self, total: u64, jitter: Option<&mut StdRng>) -> [u64; HOURS] {
         let mut out = [0u64; HOURS];
@@ -74,7 +79,10 @@ impl DiurnalProfile {
         }
         // Expected per-hour counts (optionally jittered), then scale back
         // to the exact total via largest remainders.
-        let mut expected: Vec<f64> = self.weights.iter().map(|&w| w * total as f64).collect();
+        let mut expected = [0.0f64; HOURS];
+        for (e, &w) in expected.iter_mut().zip(&self.weights) {
+            *e = w * total as f64;
+        }
         if let Some(rng) = jitter {
             for e in &mut expected {
                 *e = sampling::poisson(rng, *e) as f64;
@@ -86,18 +94,20 @@ impl DiurnalProfile {
                     *e *= scale;
                 }
             } else {
-                expected = self.weights.iter().map(|&w| w * total as f64).collect();
+                for (e, &w) in expected.iter_mut().zip(&self.weights) {
+                    *e = w * total as f64;
+                }
             }
         }
         let mut assigned = 0u64;
-        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(HOURS);
+        let mut remainders = [(0usize, 0.0f64); HOURS];
         for (h, &e) in expected.iter().enumerate() {
             let floor = e.floor() as u64;
             out[h] = floor;
             assigned += floor;
-            remainders.push((h, e - e.floor()));
+            remainders[h] = (h, e - e.floor());
         }
-        remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
+        remainders.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut leftover = total - assigned;
         for (h, _) in remainders {
             if leftover == 0 {
@@ -110,6 +120,45 @@ impl DiurnalProfile {
     }
 }
 
+/// A lazy per-day hour-split iterator over one file's daily read series.
+///
+/// Yields the same `[u64; HOURS]` rows [`HourlySeries::expand`] would
+/// materialize — identical seeded RNG stream, identical apportionment —
+/// but one day at a time, so a streaming consumer never holds the full
+/// `days x 24` matrix resident.
+#[derive(Debug)]
+pub struct HourSplits<'a> {
+    daily: std::slice::Iter<'a, u64>,
+    profile: &'a DiurnalProfile,
+    rng: StdRng,
+}
+
+impl<'a> HourSplits<'a> {
+    /// Starts a lazy expansion of `file`'s daily reads under `profile`,
+    /// seeded per file exactly as [`HourlySeries::expand`] is.
+    #[must_use]
+    pub fn new(file: &'a FileSeries, profile: &'a DiurnalProfile, seed: u64) -> HourSplits<'a> {
+        HourSplits {
+            daily: file.reads.iter(),
+            profile,
+            rng: StdRng::seed_from_u64(seed ^ u64::from(file.id.0) << 16),
+        }
+    }
+}
+
+impl Iterator for HourSplits<'_> {
+    type Item = [u64; HOURS];
+
+    fn next(&mut self) -> Option<[u64; HOURS]> {
+        let &daily = self.daily.next()?;
+        Some(self.profile.split_day(daily, Some(&mut self.rng)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.daily.size_hint()
+    }
+}
+
 /// A file's hourly read counts (`days x 24`, row-major by day).
 #[derive(Clone, Debug, PartialEq)]
 pub struct HourlySeries {
@@ -119,13 +168,13 @@ pub struct HourlySeries {
 
 impl HourlySeries {
     /// Expands a daily series under `profile`, seeded per file so the
-    /// expansion is deterministic.
+    /// expansion is deterministic. Materializes the rows of [`HourSplits`];
+    /// streaming consumers should iterate [`HourSplits`] directly instead.
     #[must_use]
     pub fn expand(file: &FileSeries, profile: &DiurnalProfile, seed: u64) -> HourlySeries {
-        let mut rng = StdRng::seed_from_u64(seed ^ u64::from(file.id.0) << 16);
         let mut reads = Vec::with_capacity(file.days() * HOURS);
-        for &daily in &file.reads {
-            reads.extend(profile.split_day(daily, Some(&mut rng)));
+        for day in HourSplits::new(file, profile, seed) {
+            reads.extend(day);
         }
         HourlySeries { reads }
     }
@@ -196,6 +245,39 @@ mod tests {
         assert_eq!(a, b);
         let c = HourlySeries::expand(&trace.files[0], &p, 8);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lazy_hour_splits_match_expand_exactly() {
+        let trace = Trace::generate(&TraceConfig::small(6, 9, 13));
+        let profile = DiurnalProfile::web_default();
+        for file in &trace.files {
+            let eager = HourlySeries::expand(file, &profile, 21);
+            let lazy: Vec<u64> =
+                HourSplits::new(file, &profile, 21).flat_map(|day| day.into_iter()).collect();
+            assert_eq!(lazy, eager.reads, "file {}", file.id);
+        }
+    }
+
+    #[test]
+    fn hour_splits_reports_remaining_days() {
+        let trace = Trace::generate(&TraceConfig::small(1, 5, 2));
+        let profile = DiurnalProfile::flat();
+        let mut it = HourSplits::new(&trace.files[0], &profile, 0);
+        assert_eq!(it.size_hint(), (5, Some(5)));
+        let _ = it.next();
+        assert_eq!(it.size_hint(), (4, Some(4)));
+        assert_eq!(it.count(), 4);
+    }
+
+    #[test]
+    fn split_day_ties_break_toward_earlier_hours() {
+        // A flat profile with a non-multiple total leaves equal remainders
+        // everywhere; the leftover units must land on the earliest hours.
+        let p = DiurnalProfile::flat();
+        let hours = p.split_day(25, None);
+        assert_eq!(hours[0], 2);
+        assert!(hours[1..].iter().all(|&h| h == 1));
     }
 
     #[test]

@@ -77,7 +77,9 @@ impl<T: Clone> Strategy for Just<T> {
 pub mod prelude {
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+    };
 }
 
 /// Defines property tests. See the crate docs for the supported grammar:

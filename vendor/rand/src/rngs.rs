@@ -22,10 +22,7 @@ pub struct StdRng {
 
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -57,12 +54,7 @@ impl SeedableRng for StdRng {
     fn seed_from_u64(state: u64) -> StdRng {
         let mut sm = state;
         let mut rng = StdRng {
-            s: [
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-            ],
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
         };
         // Warm-up rounds decorrelate nearby seeds beyond what SplitMix64
         // expansion alone provides.

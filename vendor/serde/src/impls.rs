@@ -214,8 +214,7 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn from_value(v: &Value) -> Result<[T; N], DeError> {
         let items = Vec::<T>::from_value(v)?;
         let len = items.len();
-        <[T; N]>::try_from(items)
-            .map_err(|_| DeError(format!("expected {N} elements, got {len}")))
+        <[T; N]>::try_from(items).map_err(|_| DeError(format!("expected {N} elements, got {len}")))
     }
 }
 
@@ -280,10 +279,9 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
 impl<V: Deserialize> Deserialize for HashMap<String, V> {
     fn from_value(v: &Value) -> Result<HashMap<String, V>, DeError> {
         match v {
-            Value::Map(entries) => entries
-                .iter()
-                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
-                .collect(),
+            Value::Map(entries) => {
+                entries.iter().map(|(k, val)| Ok((k.clone(), V::from_value(val)?))).collect()
+            }
             other => Err(DeError::expected("object", other)),
         }
     }
@@ -298,10 +296,9 @@ impl<V: Serialize> Serialize for BTreeMap<String, V> {
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     fn from_value(v: &Value) -> Result<BTreeMap<String, V>, DeError> {
         match v {
-            Value::Map(entries) => entries
-                .iter()
-                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
-                .collect(),
+            Value::Map(entries) => {
+                entries.iter().map(|(k, val)| Ok((k.clone(), V::from_value(val)?))).collect()
+            }
             other => Err(DeError::expected("object", other)),
         }
     }

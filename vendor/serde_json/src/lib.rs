@@ -139,10 +139,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error(format!(
-                "expected {:?} at byte {}",
-                b as char, self.pos
-            )))
+            Err(Error(format!("expected {:?} at byte {}", b as char, self.pos)))
         }
     }
 
@@ -211,10 +208,7 @@ impl Parser<'_> {
                 }
             }
             Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
-            other => Err(Error(format!(
-                "unexpected {other:?} at byte {}",
-                self.pos
-            ))),
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.pos))),
         }
     }
 
