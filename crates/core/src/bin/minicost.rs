@@ -18,6 +18,40 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// A CLI failure carrying the process exit code. `serve` maps its error
+/// taxonomy onto distinct codes (see [`USAGE`]); every other command exits
+/// 1 on failure.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    /// A generic (exit 1) failure.
+    fn general(message: String) -> CliError {
+        CliError { code: 1, message }
+    }
+
+    /// A configuration/usage failure (exit 2).
+    fn config(message: String) -> CliError {
+        CliError { code: 2, message }
+    }
+}
+
+/// The `serve` exit-code taxonomy: 2 for configuration errors, 3 for
+/// unrecoverable snapshot state (corrupt beyond rotation, or incompatible
+/// with the run), 4 for faults that outlived the retry budget, 1 otherwise.
+fn serve_exit_code(e: &ServeError) -> u8 {
+    match e {
+        ServeError::Config(_) => 2,
+        ServeError::Snapshot(_)
+        | ServeError::SnapshotMismatch(_)
+        | ServeError::Unrecoverable(_) => 3,
+        ServeError::RetriesExhausted { .. } => 4,
+        ServeError::Stream(_) => 1,
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
@@ -32,18 +66,18 @@ fn main() -> ExitCode {
         }
     };
     let result = match command.as_str() {
-        "generate" => generate(&flags),
-        "analyze" => analyze(&flags),
-        "train" => train(&flags),
-        "evaluate" => evaluate(&flags),
+        "generate" => generate(&flags).map_err(CliError::general),
+        "analyze" => analyze(&flags).map_err(CliError::general),
+        "train" => train(&flags).map_err(CliError::general),
+        "evaluate" => evaluate(&flags).map_err(CliError::general),
         "serve" => serve_cmd(&flags),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::general(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n{USAGE}");
-            ExitCode::FAILURE
+            eprintln!("error: {}\n{USAGE}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }
@@ -58,7 +92,22 @@ const USAGE: &str = "usage:
   minicost serve    --trace trace.csv [--policy hot|cold|greedy | --agent agent.json] \\
                     [--decide-every N] [--seed S] [--max-tracked K] \\
                     [--checkpoint snap.json] [--checkpoint-every E] \\
-                    [--max-days D] [--verify-batch true] [--pricing ...]";
+                    [--checkpoint-keep R] [--max-days D] [--verify-batch true] \\
+                    [--chaos-seed C | --fault-plan plan.json] \\
+                    [--degraded-policy hot|cold|greedy] [--pricing ...]
+
+serve chaos/recovery:
+  --chaos-seed C        arm the standard seeded fault plan (replayable)
+  --fault-plan F.json   arm a custom fault plan from a JSON file
+  --degraded-policy P   pin decisions to baseline P when the policy step
+                        fails past the retry budget (default: abort)
+  --checkpoint-keep R   rotated predecessors kept for restore fallback
+                        (default 2); incidents are summarized on stderr
+
+serve exit codes:
+  0 success            2 configuration error
+  1 other failure      3 unrecoverable snapshot state
+                       4 fault budget exhausted (retries spent)";
 
 type Flags = HashMap<String, String>;
 
@@ -171,51 +220,95 @@ fn train(flags: &Flags) -> Result<(), String> {
 }
 
 /// `minicost serve`: run a policy online over the trace's event stream
-/// with bounded-memory statistics and optional checkpoint/restore. With
+/// with bounded-memory statistics, optional checkpoint/restore with
+/// rotation, and the optional chaos harness (`--chaos-seed` /
+/// `--fault-plan`) exercising the supervisor's recovery paths. With
 /// `--verify-batch true` the streamed ledgers are compared against the
 /// batch simulator and a mismatch fails the command — the CI smoke job's
-/// equivalence gate.
-fn serve_cmd(flags: &Flags) -> Result<(), String> {
-    let trace = load_trace(flags)?;
-    let model = pricing(flags)?;
-    let seed = flag(flags, "seed", 0u64)?;
-    let decide_every = flag(flags, "decide-every", 1usize)?;
+/// equivalence gate (which must hold even under a recoverable fault plan).
+fn serve_cmd(flags: &Flags) -> Result<(), CliError> {
+    let trace = load_trace(flags).map_err(CliError::config)?;
+    let model = pricing(flags).map_err(CliError::config)?;
+    let seed = flag(flags, "seed", 0u64).map_err(CliError::config)?;
+    let decide_every = flag(flags, "decide-every", 1usize).map_err(CliError::config)?;
 
     let mut policy: Box<dyn Policy> = match flags.get("agent") {
         Some(agent_path) => {
-            let agent =
-                MiniCost::load(Path::new(agent_path)).map_err(|e| format!("{agent_path}: {e}"))?;
+            let agent = MiniCost::load(Path::new(agent_path))
+                .map_err(|e| CliError::config(format!("{agent_path}: {e}")))?;
             Box::new(agent.policy())
         }
         None => match flags.get("policy").map_or("greedy", String::as_str) {
             "hot" => Box::new(HotPolicy),
             "cold" => Box::new(ColdPolicy),
             "greedy" => Box::new(GreedyPolicy),
-            other => return Err(format!("unknown policy {other:?} (hot|cold|greedy)")),
+            other => {
+                return Err(CliError::config(format!("unknown policy {other:?} (hot|cold|greedy)")))
+            }
         },
     };
 
     let max_tracked = match flags.get("max-tracked") {
         None => None,
-        Some(v) => Some(v.parse::<usize>().map_err(|e| format!("--max-tracked {v:?}: {e}"))?),
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|e| CliError::config(format!("--max-tracked {v:?}: {e}")))?,
+        ),
     };
     let max_days = match flags.get("max-days") {
         None => None,
-        Some(v) => Some(v.parse::<usize>().map_err(|e| format!("--max-days {v:?}: {e}"))?),
+        Some(v) => Some(
+            v.parse::<usize>().map_err(|e| CliError::config(format!("--max-days {v:?}: {e}")))?,
+        ),
     };
     let cfg = ServeConfig {
         decide_every,
         seed,
         max_tracked,
-        checkpoint_every: flag(flags, "checkpoint-every", 0u64)?,
+        checkpoint_every: flag(flags, "checkpoint-every", 0u64).map_err(CliError::config)?,
         checkpoint_path: flags.get("checkpoint").map(PathBuf::from),
         max_days,
+        checkpoint_keep: flag(flags, "checkpoint-keep", ServeConfig::default().checkpoint_keep)
+            .map_err(CliError::config)?,
         ..ServeConfig::default()
     };
 
-    let report = serve(&trace, &model, policy.as_mut(), &cfg).map_err(|e| e.to_string())?;
+    // Chaos/recovery configuration: an armed fault plan turns the quiet
+    // supervisor into the deterministic chaos harness of DESIGN.md §11.
+    let fault_plan = match (flags.get("fault-plan"), flags.get("chaos-seed")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::config(
+                "--fault-plan and --chaos-seed are mutually exclusive".to_owned(),
+            ))
+        }
+        (Some(path), None) => Some(FaultPlan::load(Path::new(path)).map_err(CliError::config)?),
+        (None, Some(_)) => {
+            Some(FaultPlan::chaos(flag(flags, "chaos-seed", 0u64).map_err(CliError::config)?))
+        }
+        (None, None) => None,
+    };
+    let degraded = match flags.get("degraded-policy") {
+        None => None,
+        Some(name) => Some(DegradedPolicy::parse(name).map_err(CliError::config)?),
+    };
+    let sup_cfg = SuperviseConfig { fault_plan, degraded, ..SuperviseConfig::default() };
+
+    let report = Supervisor::new(sup_cfg)
+        .run(&trace, &model, policy.as_mut(), &cfg)
+        .map_err(|e| CliError { code: serve_exit_code(&e), message: e.to_string() })?;
     if let Some(day) = report.resumed_from_day {
         println!("resumed from checkpoint at day {day}");
+    }
+    // Incident accounting goes to stderr so ledgers on stdout stay
+    // machine-readable.
+    if !report.incidents.is_empty() {
+        eprintln!("incidents: {}", report.incidents.summary());
+        for incident in report.incidents.iter() {
+            eprintln!("  {incident}");
+        }
+    }
+    if report.degraded_epochs > 0 {
+        eprintln!("degraded epochs: {}", report.degraded_epochs);
     }
     println!(
         "served {} files through day {} ({} decision epochs, {} checkpoints): \
@@ -229,14 +322,14 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
         report.result.total_decision_millis(),
     );
 
-    if flag(flags, "verify-batch", false)? {
-        let workers = flag(flags, "workers", default_workers())?;
+    if flag(flags, "verify-batch", false).map_err(CliError::config)? {
+        let workers = flag(flags, "workers", default_workers()).map_err(CliError::config)?;
         let sim_cfg = SimConfig::builder()
             .seed(seed)
             .decide_every(decide_every)
             .workers(workers)
             .build()
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::config(e.to_string()))?;
         let horizon = cfg.max_days.map_or(trace.days, |m| m.min(trace.days));
         let batch = simulate(&trace, &model, policy.as_mut(), &sim_cfg);
         let daily_match = report.result.daily == batch.daily[..horizon.min(batch.daily.len())];
@@ -244,11 +337,11 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
         let full = horizon == trace.days;
         let ok = if full { daily_match && per_file_match } else { daily_match };
         if !ok {
-            return Err(format!(
+            return Err(CliError::general(format!(
                 "streamed ledgers diverge from batch: streamed {} vs batch {}",
                 report.result.total_cost(),
                 batch.total_cost()
-            ));
+            )));
         }
         println!("verified: streamed ledgers are bit-identical to batch (workers={workers})");
     }

@@ -31,6 +31,10 @@
 //! * [`serve`] — the online serving loop: streamed events drive bounded
 //!   online statistics, policy decisions, exact incremental ledgers, and
 //!   atomic checkpoint/restore (bit-identical to [`sim`] in exact mode).
+//! * [`supervise`] — the self-healing shell around [`serve`]: bounded
+//!   retries with deterministic backoff, checkpoint-rotation fallback,
+//!   degraded-mode policy pinning, and the incident log — driven by the
+//!   seeded chaos harness in `minicost-stream`'s `fault` module.
 //! * [`metrics`] — per-bucket cost attribution and overhead timing.
 //! * [`predictive`] — the forecast-then-optimize planner the paper's §3.2
 //!   argues against, made executable.
@@ -72,6 +76,7 @@ pub mod policy;
 pub mod predictive;
 pub mod serve;
 pub mod sim;
+pub mod supervise;
 pub mod train;
 
 /// One-stop imports for examples and experiment harnesses.
@@ -96,8 +101,12 @@ pub mod prelude {
     pub use crate::sim::{
         default_workers, simulate, SimConfig, SimConfigBuilder, SimConfigError, SimResult,
     };
+    pub use crate::supervise::{
+        DegradedPolicy, Incident, IncidentKind, IncidentLog, SuperviseConfig, Supervisor,
+    };
     pub use crate::train::{MiniCost, MiniCostConfig};
     pub use pricing::{CostModel, Money, PricingPolicy, Tier};
+    pub use stream::{FaultPlan, FaultSite};
     pub use tracegen::{Trace, TraceConfig};
 }
 

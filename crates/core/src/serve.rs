@@ -37,11 +37,14 @@
 
 use crate::policy::Policy;
 use crate::sim::SimResult;
+use crate::supervise::{IncidentKind, IncidentLog, SuperviseConfig, Supervisor};
 use pricing::{CostBreakdown, CostLedger, CostModel, FileDay, Money, Tier, TIER_COUNT};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 use stream::{
-    BoundedConfig, BoundedStats, EventStream, ExactStats, Snapshot, SnapshotError, SNAPSHOT_VERSION,
+    rotate, rotation_candidates, BoundedConfig, BoundedStats, DayBatch, Event, EventSource,
+    ExactStats, FaultyBackend, FaultySource, FsBackend, Snapshot, SnapshotError, StorageBackend,
+    TraceSource, SNAPSHOT_VERSION,
 };
 use tracegen::{DiurnalProfile, FileSeries, Trace};
 
@@ -69,6 +72,11 @@ pub struct ServeConfig {
     /// Stop after serving this many days (used to emulate a mid-run kill);
     /// `None` serves the full trace horizon.
     pub max_days: Option<usize>,
+    /// Rotation depth: how many predecessor snapshots to keep next to the
+    /// checkpoint (`checkpoint.json.1`, `.2`, ...). Restore falls back
+    /// through them newest-first when the newest snapshot is corrupt. `0`
+    /// disables rotation (saves overwrite in place).
+    pub checkpoint_keep: usize,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +90,7 @@ impl Default for ServeConfig {
             checkpoint_every: 0,
             checkpoint_path: None,
             max_days: None,
+            checkpoint_keep: 2,
         }
     }
 }
@@ -95,6 +104,21 @@ pub enum ServeError {
     Snapshot(SnapshotError),
     /// An existing snapshot is incompatible with this run's configuration.
     SnapshotMismatch(String),
+    /// Checkpoints exist but every rotation candidate is corrupt or
+    /// unusable — resuming would require manual intervention.
+    Unrecoverable(String),
+    /// A fault persisted past the supervisor's bounded retry budget.
+    RetriesExhausted {
+        /// The operation that kept failing.
+        what: String,
+        /// Retries spent before giving up.
+        attempts: u32,
+        /// The last observed failure.
+        last: String,
+    },
+    /// The event source could not deliver (or read-repair) an in-horizon
+    /// day.
+    Stream(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -103,6 +127,11 @@ impl std::fmt::Display for ServeError {
             ServeError::Config(msg) => write!(f, "serve config error: {msg}"),
             ServeError::Snapshot(e) => write!(f, "serve snapshot error: {e}"),
             ServeError::SnapshotMismatch(msg) => write!(f, "snapshot mismatch: {msg}"),
+            ServeError::Unrecoverable(msg) => write!(f, "unrecoverable checkpoints: {msg}"),
+            ServeError::RetriesExhausted { what, attempts, last } => {
+                write!(f, "{what} still failing after {attempts} retries: {last}")
+            }
+            ServeError::Stream(msg) => write!(f, "event stream error: {msg}"),
         }
     }
 }
@@ -133,6 +162,11 @@ pub struct ServeReport {
     /// Whether the full horizon was served (false when `max_days` cut the
     /// run short — the checkpoint then carries the rest).
     pub days_served_through: usize,
+    /// Every recovery action the supervisor took; empty for a clean run,
+    /// bit-identical across reruns of the same fault plan.
+    pub incidents: IncidentLog,
+    /// Decision epochs served by the degraded fallback policy.
+    pub degraded_epochs: u64,
 }
 
 /// Mutable serving state; mirrors [`Snapshot`] field-for-field.
@@ -364,19 +398,187 @@ fn synthesize_trace(
     Trace { days: day + 1, files }
 }
 
+/// Restores serving state from the newest usable rotation candidate.
+///
+/// Candidates are tried newest-first (`path`, `path.1`, ...). A candidate
+/// is usable when it loads (transient read failures are retried), passes
+/// the v2 checksum, and agrees with this run's configuration. Falling back
+/// to an older slot is recorded as [`IncidentKind::RolledBack`].
+///
+/// Returns `Ok(None)` when no candidate file exists (fresh start). When
+/// candidates exist but none is usable: the newest candidate's failure is
+/// surfaced — as [`ServeError::SnapshotMismatch`] if it was a
+/// configuration disagreement (operator error, not data loss), otherwise
+/// wrapped in [`ServeError::Unrecoverable`].
+fn restore(
+    sup: &mut Supervisor,
+    backend: &mut dyn StorageBackend,
+    path: &Path,
+    cfg: &ServeConfig,
+    policy_name: &str,
+    fleet: usize,
+) -> Result<Option<Snapshot>, ServeError> {
+    let candidates = rotation_candidates(path, cfg.checkpoint_keep);
+    let mut newest_failure: Option<ServeError> = None;
+    let mut tried = 0usize;
+    for (slot, cand) in candidates.iter().enumerate() {
+        if !backend.exists(cand) {
+            continue;
+        }
+        tried += 1;
+        let loaded = sup.retry_snapshot(0, IncidentKind::LoadRetried, "checkpoint load", || {
+            Snapshot::load_with(backend, cand)
+        });
+        match loaded {
+            Ok(snap) => match check_snapshot(&snap, cfg, policy_name, fleet) {
+                Ok(()) => {
+                    if slot > 0 {
+                        sup.record(
+                            snap.next_day,
+                            IncidentKind::RolledBack,
+                            format!("restored rotation slot {slot} ({})", cand.display()),
+                        );
+                    }
+                    return Ok(Some(snap));
+                }
+                Err(e) => {
+                    sup.record(0, IncidentKind::CheckpointMismatch, format!("slot {slot}: {e}"));
+                    newest_failure.get_or_insert(e);
+                }
+            },
+            Err(e @ ServeError::RetriesExhausted { .. }) => return Err(e),
+            Err(e) => {
+                sup.record(0, IncidentKind::CheckpointCorrupt, format!("slot {slot}: {e}"));
+                newest_failure.get_or_insert(e);
+            }
+        }
+    }
+    match newest_failure {
+        None => Ok(None),
+        Some(ServeError::SnapshotMismatch(m)) => Err(ServeError::SnapshotMismatch(m)),
+        Some(e) => Err(ServeError::Unrecoverable(format!(
+            "no usable checkpoint among {tried} candidate(s); newest failure: {e}"
+        ))),
+    }
+}
+
+/// Rotates predecessors down one slot, then writes the snapshot — both
+/// under the supervisor's transient-retry policy.
+fn write_checkpoint(
+    sup: &mut Supervisor,
+    backend: &mut dyn StorageBackend,
+    snap: &Snapshot,
+    keep: usize,
+    path: &Path,
+    day: usize,
+) -> Result<(), ServeError> {
+    sup.retry_snapshot(day, IncidentKind::SaveRetried, "checkpoint rotation", || {
+        rotate(backend, path, keep)
+    })?;
+    sup.retry_snapshot(day, IncidentKind::SaveRetried, "checkpoint write", || {
+        snap.save_with(backend, path)
+    })
+}
+
+/// Re-reads one day's canonical batch from the durable log (exempt from
+/// delivery faults by construction) after a delivery anomaly.
+fn refetch_day(source: &mut dyn EventSource, day: usize) -> Result<Vec<Event>, ServeError> {
+    match source.refetch(day) {
+        Some(batch) if batch.verifies() => Ok(batch.events),
+        Some(_) => Err(ServeError::Stream(format!("read-repair of day {day} failed its digest"))),
+        None => Err(ServeError::Stream(format!("day {day} is unavailable from the durable log"))),
+    }
+}
+
+/// Acquires exactly `day`'s canonical events from a possibly-anomalous
+/// delivery stream, recording and recovering every detectable anomaly:
+///
+/// * stale redelivery (`batch.day < day`) — skipped;
+/// * gap (`batch.day > day` or stream ended early) — the future batch is
+///   stashed in `lookahead` and the missing day is read-repaired;
+/// * digest mismatch — first re-sorted to canonical order (repairs pure
+///   reordering locally), else read-repaired from the durable log.
+fn acquire_day(
+    sup: &mut Supervisor,
+    source: &mut dyn EventSource,
+    lookahead: &mut Option<DayBatch>,
+    day: usize,
+) -> Result<Vec<Event>, ServeError> {
+    loop {
+        let Some(batch) = lookahead.take().or_else(|| source.next_batch()) else {
+            sup.record(
+                day,
+                IncidentKind::DroppedDay,
+                "delivery ended before the day; read-repair".to_owned(),
+            );
+            return refetch_day(source, day);
+        };
+        if batch.day < day {
+            sup.record(
+                batch.day,
+                IncidentKind::DuplicateDay,
+                "stale redelivery skipped".to_owned(),
+            );
+            continue;
+        }
+        if batch.day > day {
+            sup.record(
+                day,
+                IncidentKind::DroppedDay,
+                format!("delivery jumped to day {}; read-repair", batch.day),
+            );
+            *lookahead = Some(batch);
+            return refetch_day(source, day);
+        }
+        if batch.verifies() {
+            return Ok(batch.events);
+        }
+        // Pure reordering is repairable locally: restore canonical order
+        // (ascending hour, ties by file id) and recheck before paying for
+        // a durable-log read.
+        let mut sorted = batch;
+        sorted.events.sort_by_key(|e| (e.hour, e.file.0));
+        if sorted.verifies() {
+            sup.record(day, IncidentKind::OutOfOrder, "re-sorted to canonical order".to_owned());
+            return Ok(sorted.events);
+        }
+        sup.record(day, IncidentKind::CorruptBatch, "digest mismatch; read-repair".to_owned());
+        return refetch_day(source, day);
+    }
+}
+
 /// Serves `trace` through `policy` under `cfg`, streaming events and
 /// deciding online. Resumes from `cfg.checkpoint_path` when a compatible
-/// snapshot exists there.
+/// snapshot exists there (falling back through rotation slots if the
+/// newest is corrupt).
 ///
 /// The trace is read only as (a) the event source behind
-/// [`stream::EventStream`] and (b) the size/id catalog — per-day request
+/// [`stream::TraceSource`] and (b) the size/id catalog — per-day request
 /// counts reach the policy exclusively through the online statistics.
+///
+/// This is the unsupervised spelling: it runs under a quiet
+/// [`Supervisor`] (no fault plan, no degraded fallback). To arm the chaos
+/// harness or degraded mode, build a [`Supervisor`] with a
+/// [`SuperviseConfig`] and call [`Supervisor::run`].
 ///
 /// # Errors
 ///
 /// [`ServeError::Config`] for invalid cadence, [`ServeError::Snapshot`] /
-/// [`ServeError::SnapshotMismatch`] for checkpoint problems.
+/// [`ServeError::SnapshotMismatch`] / [`ServeError::Unrecoverable`] for
+/// checkpoint problems.
 pub fn serve(
+    trace: &Trace,
+    model: &CostModel,
+    policy: &mut dyn Policy,
+    cfg: &ServeConfig,
+) -> Result<ServeReport, ServeError> {
+    Supervisor::new(SuperviseConfig::default()).run(trace, model, policy, cfg)
+}
+
+/// The supervised serve loop behind both [`serve`] and
+/// [`Supervisor::run`].
+pub(crate) fn run_supervised(
+    sup: &mut Supervisor,
     trace: &Trace,
     model: &CostModel,
     policy: &mut dyn Policy,
@@ -387,38 +589,51 @@ pub fn serve(
     }
     let fleet = trace.files.len();
 
-    // Restore or start fresh.
+    // The storage backend and event source, wrapped in their faulty
+    // counterparts when a chaos plan is armed.
+    let mut backend: Box<dyn StorageBackend> = match sup.injector() {
+        Some(inj) => Box::new(FaultyBackend::new(FsBackend, inj)),
+        None => Box::new(FsBackend),
+    };
+
+    // Restore from the newest usable rotation candidate, or start fresh.
     let mut resumed_from_day = None;
     let mut state = match &cfg.checkpoint_path {
-        Some(path) if path.exists() => {
-            let snap = Snapshot::load(path)?;
-            check_snapshot(&snap, cfg, policy.name(), fleet)?;
-            resumed_from_day = Some(snap.next_day);
-            ServeState::from_snapshot(snap)
-        }
-        _ => ServeState::fresh(cfg, fleet),
+        Some(path) => match restore(sup, backend.as_mut(), path, cfg, policy.name(), fleet)? {
+            Some(snap) => {
+                resumed_from_day = Some(snap.next_day);
+                ServeState::from_snapshot(snap)
+            }
+            None => ServeState::fresh(cfg, fleet),
+        },
+        None => ServeState::fresh(cfg, fleet),
     };
 
     let end = cfg.max_days.map_or(trace.days, |m| m.min(trace.days));
-    let mut stream =
-        EventStream::starting_at(trace, DiurnalProfile::web_default(), cfg.seed, state.next_day)
-            .peekable();
+    let clean = TraceSource::new(trace, DiurnalProfile::web_default(), cfg.seed, state.next_day);
+    let mut source: Box<dyn EventSource + '_> = match sup.injector() {
+        Some(inj) => Box::new(FaultySource::new(clean, inj)),
+        None => Box::new(clean),
+    };
+    let mut lookahead: Option<DayBatch> = None;
     let mut pending_reads = vec![0u64; fleet];
     let mut pending_writes = vec![0u64; fleet];
     let mut checkpoints_written = 0u64;
 
     for day in state.next_day..end {
-        // Ingest phase: drain this day's events into the online statistics
+        sup.tick();
+        // Ingest phase: acquire this day's canonical events (recovering
+        // any delivery anomaly) and drain them into the online statistics
         // and the exact open-day counters billing runs on.
+        let events = acquire_day(sup, source.as_mut(), &mut lookahead, day)?;
         pending_reads.iter_mut().for_each(|c| *c = 0);
         pending_writes.iter_mut().for_each(|c| *c = 0);
-        while stream.peek().is_some_and(|e| e.day() == day) {
-            let Some(event) = stream.next() else { break };
+        for event in &events {
             if let Some(exact) = &mut state.exact {
-                exact.ingest(&event);
+                exact.ingest(event);
             }
             if let Some(bounded) = &mut state.bounded {
-                bounded.ingest(&event);
+                bounded.ingest(event);
             }
             if let Some(slot) = pending_reads.get_mut(event.file.index()) {
                 *slot = slot.saturating_add(event.reads);
@@ -429,11 +644,12 @@ pub fn serve(
         }
 
         // Decision phase, at the batch engine's cadence, on features
-        // assembled purely from online statistics.
+        // assembled purely from online statistics. The supervisor retries
+        // injected policy-step failures and degrades past the budget.
         let decided = if day % cfg.decide_every == 0 {
             let synthetic = synthesize_trace(trace, &state, &pending_reads, &pending_writes, day);
             let start = Instant::now();
-            let decision = policy.decide_fleet(day, &synthetic, model, &state.tiers);
+            let decision = sup.decide(policy, day, &synthetic, model, &state.tiers)?;
             state.decision_millis.push(start.elapsed().as_secs_f64() * 1e3);
             Some(decision)
         } else {
@@ -482,7 +698,8 @@ pub fn serve(
             state.epoch += 1;
             if cfg.checkpoint_every > 0 && state.epoch % cfg.checkpoint_every == 0 {
                 if let Some(path) = &cfg.checkpoint_path {
-                    state.to_snapshot(cfg, policy.name()).save_atomic(path)?;
+                    let snap = state.to_snapshot(cfg, policy.name());
+                    write_checkpoint(sup, backend.as_mut(), &snap, cfg.checkpoint_keep, path, day)?;
                     checkpoints_written += 1;
                 }
             }
@@ -493,7 +710,15 @@ pub fn serve(
     // from exactly where they stopped, not the last periodic checkpoint.
     if let Some(path) = &cfg.checkpoint_path {
         if cfg.checkpoint_every > 0 {
-            state.to_snapshot(cfg, policy.name()).save_atomic(path)?;
+            let snap = state.to_snapshot(cfg, policy.name());
+            write_checkpoint(
+                sup,
+                backend.as_mut(),
+                &snap,
+                cfg.checkpoint_keep,
+                path,
+                state.next_day,
+            )?;
             checkpoints_written += 1;
         }
     }
@@ -513,6 +738,8 @@ pub fn serve(
         resumed_from_day,
         checkpoints_written,
         days_served_through: state.next_day,
+        incidents: sup.take_incidents(),
+        degraded_epochs: sup.degraded_epochs(),
     })
 }
 

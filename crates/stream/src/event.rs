@@ -173,6 +173,126 @@ impl Iterator for EventStream<'_> {
     }
 }
 
+/// Order-sensitive FNV-1a digest of a slice of events — the per-day
+/// control total a [`DayBatch`] carries so consumers can detect delivery
+/// anomalies (duplicated/dropped/reordered/amplified events) without
+/// access to ground truth.
+#[must_use]
+pub fn digest_events(events: &[Event]) -> u64 {
+    let mut bytes = Vec::with_capacity(events.len() * 36);
+    for e in events {
+        bytes.extend_from_slice(&e.hour.to_le_bytes());
+        bytes.extend_from_slice(&e.file.0.to_le_bytes());
+        bytes.extend_from_slice(&e.reads.to_le_bytes());
+        bytes.extend_from_slice(&e.writes.to_le_bytes());
+        bytes.extend_from_slice(&e.bytes.to_le_bytes());
+    }
+    crate::checkpoint::fnv1a64(&bytes)
+}
+
+/// One day's worth of events as a delivery unit, with a digest computed at
+/// the source over the events *in canonical order* (ascending hour, ties
+/// by file id — the order [`EventStream`] emits).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DayBatch {
+    /// The day every event in `events` belongs to.
+    pub day: usize,
+    /// The day's events. A quiet day is an empty (but still delivered)
+    /// batch, so consumers can distinguish "no traffic" from "no delivery".
+    pub events: Vec<Event>,
+    /// [`digest_events`] over the canonical-order events.
+    pub digest: u64,
+}
+
+impl DayBatch {
+    /// Builds a batch from canonical-order events, stamping the digest.
+    #[must_use]
+    pub fn sealed(day: usize, events: Vec<Event>) -> DayBatch {
+        let digest = digest_events(&events);
+        DayBatch { day, events, digest }
+    }
+
+    /// Whether the delivered event bytes still match the sealed digest.
+    #[must_use]
+    pub fn verifies(&self) -> bool {
+        digest_events(&self.events) == self.digest
+    }
+}
+
+/// A day-batched event delivery channel.
+///
+/// [`EventSource::next_batch`] models the live delivery path — the one the
+/// chaos harness ([`crate::fault::FaultySource`]) corrupts. `refetch`
+/// models read-repair from the durable log: it re-materializes one day's
+/// canonical batch and is exempt from delivery faults, which is what makes
+/// every stream anomaly recoverable (DESIGN.md §11).
+pub trait EventSource {
+    /// The next day's batch in horizon order, or `None` past the horizon.
+    fn next_batch(&mut self) -> Option<DayBatch>;
+
+    /// Re-reads `day`'s canonical batch from durable storage, or `None` if
+    /// `day` is past the horizon.
+    fn refetch(&mut self, day: usize) -> Option<DayBatch>;
+}
+
+/// The clean [`EventSource`] over a trace: batches are collected from a
+/// seeded [`EventStream`], so `next_batch` from day `d` and `refetch(d)`
+/// return bit-identical batches (stateless per-`(file, day)` seeding).
+#[derive(Debug)]
+pub struct TraceSource<'a> {
+    trace: &'a Trace,
+    profile: DiurnalProfile,
+    seed: u64,
+    stream: std::iter::Peekable<EventStream<'a>>,
+    next_day: usize,
+}
+
+impl<'a> TraceSource<'a> {
+    /// A source over `trace` starting at `start_day`.
+    #[must_use]
+    pub fn new(
+        trace: &'a Trace,
+        profile: DiurnalProfile,
+        seed: u64,
+        start_day: usize,
+    ) -> TraceSource<'a> {
+        TraceSource {
+            trace,
+            profile: profile.clone(),
+            seed,
+            stream: EventStream::starting_at(trace, profile, seed, start_day).peekable(),
+            next_day: start_day,
+        }
+    }
+}
+
+impl EventSource for TraceSource<'_> {
+    fn next_batch(&mut self) -> Option<DayBatch> {
+        if self.next_day >= self.trace.days {
+            return None;
+        }
+        let day = self.next_day;
+        let mut events = Vec::new();
+        while self.stream.peek().is_some_and(|e| e.day() == day) {
+            if let Some(event) = self.stream.next() {
+                events.push(event);
+            }
+        }
+        self.next_day += 1;
+        Some(DayBatch::sealed(day, events))
+    }
+
+    fn refetch(&mut self, day: usize) -> Option<DayBatch> {
+        if day >= self.trace.days {
+            return None;
+        }
+        let events = EventStream::starting_at(self.trace, self.profile.clone(), self.seed, day)
+            .take_while(|e| e.day() == day)
+            .collect();
+        Some(DayBatch::sealed(day, events))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,5 +369,65 @@ mod tests {
         let t = trace();
         let past_end = EventStream::starting_at(&t, DiurnalProfile::flat(), 1, t.days + 3);
         assert_eq!(past_end.count(), 0);
+    }
+
+    #[test]
+    fn trace_source_batches_cover_the_stream_exactly() {
+        let t = trace();
+        let p = DiurnalProfile::web_default;
+        let mut source = TraceSource::new(&t, p(), 5, 0);
+        let mut batched = Vec::new();
+        let mut days_seen = 0;
+        while let Some(batch) = source.next_batch() {
+            assert_eq!(batch.day, days_seen, "batches arrive in horizon order");
+            assert!(batch.verifies(), "sealed batches self-verify");
+            batched.extend(batch.events);
+            days_seen += 1;
+        }
+        assert_eq!(days_seen, t.days);
+        let flat: Vec<Event> = EventStream::new(&t, p(), 5).collect();
+        assert_eq!(batched, flat, "batching must not reorder or drop events");
+    }
+
+    #[test]
+    fn refetch_reproduces_delivered_batches_bit_identically() {
+        let t = trace();
+        let p = DiurnalProfile::web_default;
+        let mut source = TraceSource::new(&t, p(), 9, 0);
+        let delivered: Vec<DayBatch> = std::iter::from_fn(|| source.next_batch()).collect();
+        for batch in &delivered {
+            let again = source.refetch(batch.day).expect("within horizon");
+            assert_eq!(&again, batch, "day {} refetch", batch.day);
+        }
+        assert!(source.refetch(t.days).is_none(), "past the horizon");
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_every_anomaly_kind() {
+        let t = trace();
+        let mut source = TraceSource::new(&t, DiurnalProfile::web_default(), 3, 0);
+        let batch = std::iter::from_fn(|| source.next_batch())
+            .find(|b| b.events.len() >= 2)
+            .expect("an active day");
+        // Reorder.
+        let mut reordered = batch.clone();
+        reordered.events.reverse();
+        assert!(!reordered.verifies());
+        // Drop.
+        let mut dropped = batch.clone();
+        dropped.events.pop();
+        assert!(!dropped.verifies());
+        // Duplicate.
+        let mut duplicated = batch.clone();
+        let first = duplicated.events[0];
+        duplicated.events.push(first);
+        assert!(!duplicated.verifies());
+        // Burst amplification.
+        let mut burst = batch.clone();
+        for e in &mut burst.events {
+            e.reads = e.reads.saturating_mul(7);
+            e.writes = e.writes.saturating_mul(7);
+        }
+        assert!(!burst.verifies());
     }
 }

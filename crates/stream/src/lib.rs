@@ -18,9 +18,15 @@
 //!   exact state.
 //! * [`bounded`] — the combined degradation path: exact windows for the
 //!   heavy hitters, sketch estimates for the long tail.
-//! * [`checkpoint`] — a versioned snapshot of the whole serving state
-//!   (statistics, ledgers, cursors) written atomically, so a killed server
-//!   restarts bit-identically (DESIGN.md §10).
+//! * [`checkpoint`] — a versioned, FNV-checksummed snapshot of the whole
+//!   serving state (statistics, ledgers, cursors) written atomically
+//!   through a [`checkpoint::StorageBackend`], with rotation helpers, so a
+//!   killed server restarts bit-identically (DESIGN.md §10) and a corrupt
+//!   snapshot is detected rather than resumed (DESIGN.md §11).
+//! * [`fault`] — the seeded, deterministic chaos layer: a serializable
+//!   [`fault::FaultPlan`] drives injectable wrappers that corrupt the
+//!   checkpoint path ([`fault::FaultyBackend`]) and the event delivery
+//!   path ([`fault::FaultySource`]), replayably.
 //!
 //! The decision loop that drives a `Policy` from these statistics lives in
 //! `minicost-core` (`serve` module); this crate deliberately depends only
@@ -38,12 +44,19 @@
 pub mod bounded;
 pub mod checkpoint;
 pub mod event;
+pub mod fault;
 pub mod sketch;
 pub mod stats;
 
 pub use bounded::{BoundedConfig, BoundedStats};
-pub use checkpoint::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
-pub use event::{Event, EventStream};
+pub use checkpoint::{
+    fnv1a64, rotate, rotated_path, rotation_candidates, FsBackend, Snapshot, SnapshotError,
+    StorageBackend, SNAPSHOT_VERSION,
+};
+pub use event::{digest_events, DayBatch, Event, EventSource, EventStream, TraceSource};
+pub use fault::{
+    FaultInjector, FaultPlan, FaultSite, FaultyBackend, FaultySource, SharedInjector, FAULT_SITES,
+};
 pub use sketch::{CountMinSketch, SpaceSaving, SpaceSavingEntry};
 pub use stats::{ExactStats, FileStats};
 
