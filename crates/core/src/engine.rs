@@ -38,6 +38,7 @@ pub fn shard_of(id: FileId, seed: u64, workers: usize) -> usize {
     x ^= x >> 27;
     x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^= x >> 31;
+    // xtask-allow(panic-reachability): divisor clamped nonzero by max(1) on this line
     (x % workers.max(1) as u64) as usize
 }
 

@@ -303,6 +303,7 @@ fn push_filler(out: &mut Vec<u64>, total: u64, m: usize) {
     }
     let m64 = m as u64;
     let base = total / m64;
+    // xtask-allow(panic-reachability): m == 0 returned early above, so m64 >= 1
     let rem = (total % m64) as usize;
     for i in 0..m {
         out.push(base + u64::from(i < rem));

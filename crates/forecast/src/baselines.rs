@@ -80,7 +80,7 @@ impl Ewma {
             Some(&v) => v,
             None => return 0.0,
         };
-        for &v in &history[1..] {
+        for &v in history.iter().skip(1) {
             level = self.alpha * v + (1.0 - self.alpha) * level;
         }
         level

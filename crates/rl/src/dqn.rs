@@ -121,7 +121,7 @@ pub struct DqnResult {
 pub fn train_dqn<E: Env>(spec: NetSpec, cfg: &DqnConfig, mut env: E) -> DqnResult {
     if let Err(e) = cfg.validate() {
         // Documented contract: callers must validate their config first.
-        panic!("invalid DqnConfig: {e}"); // xtask-allow: no-panic-in-libs
+        panic!("invalid DqnConfig: {e}"); // xtask-allow(no-panic-in-libs): documented fail-fast contract
     }
     assert_eq!(env.state_dim(), spec.state_dim(), "state width mismatch");
     assert_eq!(env.n_actions(), spec.actions, "action count mismatch");

@@ -51,6 +51,7 @@ impl CountMinSketch {
     /// The flat cell index of `key` in `row`.
     fn cell(&self, row: usize, key: u64) -> usize {
         let h = mix64(key ^ mix64(self.seed.wrapping_add(row as u64 + 1)));
+        // xtask-allow(panic-reachability): width clamped to at least 1 in new()
         row * self.width + (h % self.width as u64) as usize
     }
 

@@ -61,7 +61,7 @@ mod viral {
 pub fn generate(config: &TraceConfig) -> Trace {
     if let Err(e) = config.validate() {
         // Documented contract: callers must validate their config first.
-        panic!("invalid TraceConfig: {e}"); // xtask-allow: no-panic-in-libs
+        panic!("invalid TraceConfig: {e}"); // xtask-allow(no-panic-in-libs): documented fail-fast contract
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
 

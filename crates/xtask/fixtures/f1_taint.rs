@@ -1,0 +1,47 @@
+//! Fixture: F1 `determinism-taint`. Not compiled; the flow self-tests load
+//! this file as crate `core` and assert the wall-clock read three hops
+//! below `decide_batch` is caught, while the justified log-only timestamp
+//! is not.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+pub struct Jittery;
+
+impl Jittery {
+    /// VIOLATION: tainted sink — the source is two call hops down.
+    pub fn decide_batch(&mut self) -> u64 {
+        score_all()
+    }
+
+    /// Clean sink: only seeded, pure helpers below.
+    pub fn decide_one(&mut self) -> u64 {
+        seeded_score()
+    }
+}
+
+fn score_all() -> u64 {
+    jitter() + seeded_score()
+}
+
+fn jitter() -> u64 {
+    wall_clock_nanos()
+}
+
+fn wall_clock_nanos() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.subsec_nanos() as u64)
+}
+
+fn seeded_score() -> u64 {
+    42
+}
+
+/// Waived source: the justified escape stops taint at this read.
+fn log_stamp() -> u64 {
+    // xtask-allow(determinism-taint): log-only timestamp, not a decision input
+    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs())
+}
+
+/// Clean sink despite calling a waived source.
+pub fn decide_fleet() -> u64 {
+    log_stamp()
+}

@@ -1,0 +1,61 @@
+//! Fixture: F2 `panic-reachability`. Not compiled; the flow self-tests
+//! load this file as crate `core` with root `core::serve` and assert the
+//! reachable panic sites are flagged, the unreachable one is not, and the
+//! allowlist and site waivers suppress.
+
+/// Entry point: everything below is the serving path.
+pub fn serve(days: usize) -> u64 {
+    let mut total = 0;
+    for day in 0..days {
+        total += bill_day(day);
+    }
+    total + tail(&[total])
+}
+
+/// VIOLATION: indexing and a modulo by variable, two hops from `serve`.
+fn bill_day(day: usize) -> u64 {
+    let rates = [1u64, 2, 3];
+    let rate = rates[day];
+    rate + cadence_hit(day, 0)
+}
+
+/// VIOLATION: unwrap on the serving path.
+fn cadence_hit(day: usize, every: usize) -> u64 {
+    let table: Option<u64> = Some(7);
+    if day % every == 0 {
+        table.unwrap()
+    } else {
+        0
+    }
+}
+
+/// Allowlisted: covered by a `core::audited_assert` allowlist entry in the
+/// self-test.
+pub fn audited_assert(n: usize) {
+    assert!(n > 0, "fail-fast by contract");
+}
+
+/// Waived site: the justified escape comment suppresses the index.
+fn waived_index(xs: &[u64], i: usize) -> u64 {
+    // xtask-allow(panic-reachability): bounds checked by the caller's loop
+    xs[i]
+}
+
+/// Keeps the waived helper on the serving path.
+pub fn tail(xs: &[u64]) -> u64 {
+    if xs.is_empty() {
+        0
+    } else {
+        waived_index(xs, xs.len() - 1) + audited_assert_hop(xs.len())
+    }
+}
+
+fn audited_assert_hop(n: usize) -> u64 {
+    audited_assert(n);
+    0
+}
+
+/// NOT reported: panics, but nothing on the serving path calls it.
+pub fn offline_report(xs: &[u64]) -> u64 {
+    xs[0]
+}

@@ -1,0 +1,44 @@
+//! Fixture: F3 `lock-order`. Not compiled; the flow self-tests assert the
+//! inverted acquisition order forms a reported cycle, the consistent pair
+//! does not, and interprocedural acquisition through a callee is seen.
+
+use parking_lot::Mutex;
+
+pub struct Store {
+    actor: Mutex<Vec<f64>>,
+    critic: Mutex<Vec<f64>>,
+    audit: Mutex<Vec<f64>>,
+}
+
+impl Store {
+    /// Acquires `actor` then `critic` — consistent with `snapshot`.
+    pub fn apply(&self) {
+        let a = self.actor.lock();
+        let mut c = self.critic.lock();
+        c.extend(a.iter().copied());
+    }
+
+    /// Same order as `apply`: no cycle from this pair alone.
+    pub fn snapshot(&self) -> usize {
+        let a = self.actor.lock();
+        let c = self.critic.lock();
+        a.len() + c.len()
+    }
+
+    /// VIOLATION: acquires `critic` then (via `log_actor`) `actor`,
+    /// inverting the order and closing the cycle interprocedurally.
+    pub fn rollback(&self) {
+        let c = self.critic.lock();
+        self.log_actor(c.len());
+    }
+
+    fn log_actor(&self, n: usize) {
+        let mut a = self.actor.lock();
+        a.push(n as f64);
+    }
+
+    /// Independent lock, never nested: stays out of every cycle.
+    pub fn audit_len(&self) -> usize {
+        self.audit.lock().len()
+    }
+}

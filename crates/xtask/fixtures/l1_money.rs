@@ -33,5 +33,5 @@ pub fn describe(m: &Money) -> String {
 
 /// Allowed via escape hatch: a deliberate, documented exception.
 pub fn approx_usd_total(a_usd: f64, b_usd: f64) -> f64 {
-    a_usd + b_usd // xtask-allow: money-safety
+    a_usd + b_usd // xtask-allow(money-safety): report-only approximation
 }

@@ -99,15 +99,26 @@ impl Baseline {
 
     /// Matches violations against entries as of `today` (`YYYY-MM-DD`).
     /// Expired entries never suppress; they surface in `Applied::expired`.
+    #[cfg_attr(not(test), allow(dead_code))] // typed wrapper kept for the lint-side tests
     pub fn apply(&self, violations: &[Violation], today: &str) -> Applied {
+        let items: Vec<(String, String)> =
+            violations.iter().map(|v| (v.lint.name().to_string(), v.file.clone())).collect();
+        self.apply_named(&items, today)
+    }
+
+    /// Matches generic `(diagnostic name, file)` items — the flow analyses
+    /// (F1–F3) share the baseline with the syntax lints through this.
+    pub fn apply_named(&self, items: &[(String, String)], today: &str) -> Applied {
         let live: Vec<bool> = self.entries.iter().map(|e| e.expires.as_str() >= today).collect();
         let mut used = vec![false; self.entries.len()];
-        let matched = violations
+        let matched = items
             .iter()
-            .map(|v| {
-                let hit = self.entries.iter().enumerate().position(|(i, e)| {
-                    live[i] && e.lint == v.lint.name() && v.file.ends_with(&e.file)
-                });
+            .map(|(name, file)| {
+                let hit = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .position(|(i, e)| live[i] && e.lint == *name && file.ends_with(&e.file));
                 if let Some(i) = hit {
                     used[i] = true;
                 }

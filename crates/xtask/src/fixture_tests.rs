@@ -118,6 +118,15 @@ fn l9_fixture_trips_pub_api_doc_coverage() {
 }
 
 #[test]
+fn l10_fixture_trips_escape_justification() {
+    let v = scan_for("l10_escapes.rs", Lint::EscapeJustification);
+    // Bare legacy escape + bare `all`; both justified grammars are exempt.
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v.iter().any(|v| v.message.contains("no-panic-in-libs")), "{v:?}");
+    assert!(v.iter().any(|v| v.message.contains("all")), "{v:?}");
+}
+
+#[test]
 fn diagnostics_carry_file_and_line() {
     for v in scan_fixture("l2_panic.rs") {
         assert!(v.line > 0);
@@ -143,6 +152,7 @@ fn every_lint_has_a_failing_fixture() {
         (Lint::NarrowingCastAudit, "l7_narrowing.rs"),
         (Lint::ExhaustiveTierMatch, "l8_tier_match.rs"),
         (Lint::PubApiDocCoverage, "l9_docs.rs"),
+        (Lint::EscapeJustification, "l10_escapes.rs"),
     ] {
         assert!(!scan_for(fixture, lint).is_empty(), "{fixture} must trip {}", lint.name());
     }
@@ -218,6 +228,7 @@ fn diagnostics_json_matches_documented_schema() {
         &PathBuf::from("/repo"),
         42,
         &violations,
+        &[],
         &applied,
         true,
         true,
@@ -226,7 +237,7 @@ fn diagnostics_json_matches_documented_schema() {
     // Top-level keys and types per DESIGN.md §8.
     assert_eq!(doc.get("version").and_then(Json::as_num), Some(1));
     let lints = doc.get("lints").and_then(Json::as_arr).expect("lints array");
-    assert_eq!(lints.len(), 9);
+    assert_eq!(lints.len(), 10);
     let vs = doc.get("violations").and_then(Json::as_arr).expect("violations array");
     assert_eq!(vs.len(), 1);
     assert_eq!(vs[0].get("lint").and_then(Json::as_str), Some("narrowing-cast-audit"));
@@ -235,7 +246,11 @@ fn diagnostics_json_matches_documented_schema() {
     assert_eq!(vs[0].get("baselined").and_then(Json::as_bool), Some(false));
     let gates = doc.get("gates").expect("gates");
     assert_eq!(gates.get("lints").and_then(Json::as_bool), Some(false));
+    assert_eq!(gates.get("flow").and_then(Json::as_bool), Some(true));
     assert_eq!(gates.get("fmt").and_then(Json::as_bool), Some(true));
+    let flow = doc.get("flow").expect("flow section");
+    assert_eq!(flow.get("kinds").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+    assert_eq!(flow.get("diagnostics").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
     let summary = doc.get("summary").expect("summary");
     assert_eq!(summary.get("fresh").and_then(Json::as_num), Some(1));
     assert_eq!(summary.get("baselined").and_then(Json::as_num), Some(0));

@@ -1,0 +1,215 @@
+//! Self-tests for the F1–F3 flow analyses: each committed `f*` fixture must
+//! trip its analysis with the documented precision, and the real workspace
+//! must be clean modulo the shared baseline and the panic allowlist. Also
+//! holds the call-graph snapshot test pinning `Policy` dispatch coverage.
+
+use crate::flow::{FlowDiag, FlowKind, FnGraph, Workspace};
+use crate::reach::{self, PanicAllowlist};
+use crate::{graph, lockorder, taint};
+use std::path::PathBuf;
+
+fn fixture_src(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"))
+}
+
+/// Loads one fixture as a single-file workspace under crate `core`.
+fn fixture_ws(name: &str) -> (Workspace, FnGraph) {
+    let src = fixture_src(name);
+    let ws = Workspace::from_sources(&[("core", "crates/core/src/fixture.rs", &src)]);
+    let g = FnGraph::build(&ws);
+    (ws, g)
+}
+
+#[test]
+fn f1_fixture_taints_sink_through_call_hops() {
+    let (ws, g) = fixture_ws("f1_taint.rs");
+    let t = taint::compute(&ws, &g);
+    let diags = taint::diagnostics(&ws, &g, &t);
+    // Exactly one tainted sink: `decide_batch`, whose SystemTime::now()
+    // source sits behind the score_all -> jitter -> wall_clock_nanos chain.
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.kind, FlowKind::DeterminismTaint);
+    assert!(d.symbol.ends_with("decide_batch"), "{d:?}");
+    let trace = d.trace.join("\n");
+    assert!(trace.contains("wall_clock_nanos"), "{trace}");
+    assert!(trace.contains("SystemTime::now()"), "{trace}");
+    // The justified log-only read must not taint `decide_fleet`, and the
+    // seeded path must not taint `decide_one`.
+    assert!(!diags.iter().any(|d| d.symbol.contains("decide_fleet")), "{diags:?}");
+    assert!(!diags.iter().any(|d| d.symbol.contains("decide_one")), "{diags:?}");
+}
+
+#[test]
+fn f1_dot_export_marks_sources_and_sinks() {
+    let (ws, g) = fixture_ws("f1_taint.rs");
+    let t = taint::compute(&ws, &g);
+    let dot = taint::dot(&ws, &g, &t);
+    assert!(dot.starts_with("digraph determinism_taint"), "{dot}");
+    assert!(dot.contains("core::Jittery::decide_batch\" [shape=doubleoctagon"), "{dot}");
+    assert!(dot.contains("core::wall_clock_nanos\" [shape=box, style=filled"), "{dot}");
+    assert!(dot.contains("\"core::jitter\" -> \"core::wall_clock_nanos\""), "{dot}");
+    // Untainted functions stay out of the export.
+    assert!(!dot.contains("seeded_score"), "{dot}");
+}
+
+#[test]
+fn f2_fixture_flags_reachable_panics_only() {
+    let (ws, g) = fixture_ws("f2_panic.rs");
+    let allow = PanicAllowlist::parse(
+        r#"{"entries": [
+            {"function": "core::audited_assert", "reason": "fail-fast by contract"},
+            {"function": "core::never_called", "reason": "stale entry"}
+        ]}"#,
+    )
+    .expect("allowlist parses");
+    let (diags, warnings) = reach::analyze(&ws, &g, &["core::serve"], &allow);
+    let symbols: Vec<&str> = diags.iter().map(|d| d.symbol.as_str()).collect();
+    // bill_day (index) and cadence_hit (modulo + unwrap) are reachable and
+    // unlisted; the allowlisted assert, the waived index, and the
+    // unreachable offline_report are not reported.
+    assert_eq!(symbols, vec!["core::bill_day", "core::cadence_hit"], "{diags:?}");
+    let cadence = &diags[1];
+    assert!(cadence.message.contains("1 unwrap"), "{cadence:?}");
+    assert!(cadence.message.contains("1 modulo"), "{cadence:?}");
+    assert!(cadence.trace.iter().any(|s| s.contains("core::serve")), "{cadence:?}");
+    // The entry matching nothing surfaces as a warning.
+    assert_eq!(warnings.len(), 1, "{warnings:?}");
+    assert!(warnings[0].contains("core::never_called"), "{warnings:?}");
+}
+
+#[test]
+fn f2_allowlist_rejects_empty_reasons_and_junk() {
+    assert!(PanicAllowlist::parse("{}").is_err());
+    assert!(PanicAllowlist::parse(r#"{"entries": [{"function": "f"}]}"#).is_err());
+    assert!(
+        PanicAllowlist::parse(r#"{"entries": [{"function": "f", "reason": "  "}]}"#).is_err(),
+        "allowlist entries are audits; a blank reason is no audit"
+    );
+}
+
+#[test]
+fn f3_fixture_reports_the_inverted_order_cycle() {
+    let (ws, g) = fixture_ws("f3_lockorder.rs");
+    let diags = lockorder::analyze(&ws, &g);
+    // apply/snapshot agree (actor -> critic); rollback inverts through
+    // log_actor (critic -> actor): exactly one cycle, reported once.
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.kind, FlowKind::LockOrder);
+    assert!(d.message.contains("actor -> critic -> actor"), "{d:?}");
+    let trace = d.trace.join("\n");
+    assert!(trace.contains("`critic` held while acquiring `actor`"), "{trace}");
+    assert!(trace.contains("rollback"), "{trace}");
+    assert!(!trace.contains("audit"), "independent lock must stay out: {trace}");
+}
+
+#[test]
+fn f3_consistent_orders_are_silent() {
+    let src = r"
+        pub fn a(s: &S) { let x = s.first.lock(); let _y = s.second.lock(); drop(x); }
+        pub fn b(s: &S) { let x = s.first.lock(); let _y = s.second.lock(); drop(x); }
+    ";
+    let ws = Workspace::from_sources(&[("core", "crates/core/src/x.rs", src)]);
+    let g = FnGraph::build(&ws);
+    assert!(lockorder::analyze(&ws, &g).is_empty());
+}
+
+#[test]
+fn f3_same_statement_temporaries_order_locks() {
+    // Both guards live to the statement's end: a -> b is recorded, and the
+    // reversed function closes the cycle.
+    let src = r"
+        pub fn merge(s: &S) -> usize { combine(s.a.lock(), s.b.lock()) }
+        pub fn unmerge(s: &S) -> usize { combine(s.b.lock(), s.a.lock()) }
+    ";
+    let ws = Workspace::from_sources(&[("core", "crates/core/src/x.rs", src)]);
+    let g = FnGraph::build(&ws);
+    let diags = lockorder::analyze(&ws, &g);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("a -> b -> a"), "{diags:?}");
+}
+
+#[test]
+fn flow_diag_display_is_file_line_formatted() {
+    let d = FlowDiag {
+        kind: FlowKind::PanicReachability,
+        file: "crates/core/src/serve.rs".to_string(),
+        line: 651,
+        symbol: "core::serve".to_string(),
+        message: "m".to_string(),
+        trace: vec!["calls x".to_string()],
+    };
+    let rendered = d.to_string();
+    assert!(rendered.starts_with("crates/core/src/serve.rs:651: flow[F2 panic-reachability]"));
+    assert!(rendered.contains("\n    calls x"));
+}
+
+#[test]
+fn call_graph_snapshot_covers_policy_dispatch() {
+    // Satellite gate: the symbol/call graph must keep resolving the Policy
+    // surface the flow analyses depend on. If an impl or dispatch edge
+    // disappears, taint and reachability silently lose coverage.
+    let root = crate::walk::repo_root();
+    let ws = Workspace::load(&root).expect("workspace loads");
+    let g = FnGraph::build(&ws);
+
+    // Every Policy impl's decide family resolves to nodes, and the trait
+    // itself lives in core.
+    for key in ["core::Policy::decide_one", "core::Policy::decide_batch"] {
+        assert!(g.by_key(key).is_some(), "missing {key}");
+    }
+    let decide_batch = g.named("decide_batch");
+    assert!(decide_batch.len() >= 4, "expected several decide_batch defs: {decide_batch:?}");
+    let crates: Vec<&str> = decide_batch.iter().map(|&ix| g.nodes[ix].krate.as_str()).collect();
+    assert!(crates.contains(&"core"), "{crates:?}");
+
+    // The batch engine's decision loop links to EVERY decide_batch impl —
+    // the conservative union that models `dyn Policy` dispatch.
+    let run_shard = g.by_key("core::run_shard").expect("core::run_shard");
+    for &impl_ix in decide_batch {
+        assert!(
+            g.nodes[run_shard].callees.contains(&impl_ix),
+            "run_shard must link to {} for dispatch coverage",
+            g.nodes[impl_ix].key
+        );
+    }
+
+    // The SymbolGraph view agrees: decide_batch call sites resolve.
+    let parsed = ws.parsed();
+    let sg = graph::SymbolGraph::build(&parsed);
+    let edge = sg.edges.iter().find(|e| e.to_name == "decide_batch" && e.from_crate == "core");
+    assert!(edge.is_some_and(|e| e.to_crate.as_deref() == Some("core")), "{edge:?}");
+
+    // The F2 roots exist; a typo here would silently empty the analysis.
+    for key in reach::ROOTS {
+        assert!(g.by_key(key).is_some(), "F2 root {key} not in the call graph");
+    }
+}
+
+#[test]
+fn flow_tree_is_clean_modulo_baseline_and_allowlist() {
+    // The gate `cargo xtask check` enforces: every flow diagnostic in the
+    // real workspace is fixed, waived in place, allowlisted, or baselined.
+    let root = crate::walk::repo_root();
+    let ws = Workspace::load_flow(&root).expect("workspace loads");
+    let g = FnGraph::build(&ws);
+    let allow = PanicAllowlist::load(&root).expect("allowlist parses");
+    let (diags, _warnings) = crate::flow::analyze(&ws, &g, &allow);
+    let base = crate::baseline::Baseline::load(&root).expect("baseline parses");
+    let items: Vec<(String, String)> =
+        diags.iter().map(|d| (d.kind.name().to_string(), d.file.clone())).collect();
+    let applied = base.apply_named(&items, &crate::baseline::today_utc());
+    let fresh: Vec<String> = diags
+        .iter()
+        .zip(&applied.matched)
+        .filter(|(_, m)| m.is_none())
+        .map(|(d, _)| d.to_string())
+        .collect();
+    assert!(
+        fresh.is_empty(),
+        "workspace has non-baselined flow diagnostics:\n{}",
+        fresh.join("\n")
+    );
+}

@@ -101,7 +101,7 @@ pub struct ParsedFile<'a> {
 }
 
 /// Identifiers that look like calls but are control flow or builtins.
-const NON_CALLEES: &[&str] = &[
+pub const NON_CALLEES: &[&str] = &[
     "if",
     "while",
     "for",
@@ -297,7 +297,7 @@ fn qualify(stack: &[&Item], name: &str) -> String {
 /// Extracts `(callee_name, line)` candidates from a body token range:
 /// identifiers directly followed by `(`, excluding keywords/macros, plus the
 /// final segment of `a::b::c(` paths.
-fn call_sites(lexed: &Lexed, start: usize, end: usize) -> Vec<(String, usize)> {
+pub fn call_sites(lexed: &Lexed, start: usize, end: usize) -> Vec<(String, usize)> {
     let toks = &lexed.toks[start..end.min(lexed.toks.len())];
     let mut out = Vec::new();
     for (i, t) in toks.iter().enumerate() {

@@ -43,13 +43,18 @@ impl TokKind {
     }
 }
 
-/// An `// xtask-allow: <lints>` escape comment.
+/// An `// xtask-allow(<lints>): <reason>` escape comment (the legacy
+/// `// xtask-allow: <lints>` spelling is still recognised, but lint L10
+/// requires every escape to carry a justification).
 #[derive(Clone, Debug)]
 pub struct Allow {
     /// 1-based line the comment sits on.
     pub line: usize,
     /// Lint names listed after the marker (comma-separated).
     pub lints: Vec<String>,
+    /// Free-form justification text after the lint list; empty when the
+    /// escape is bare (which L10 flags).
+    pub reason: String,
 }
 
 /// Lexer output: token stream plus escape comments.
@@ -71,23 +76,41 @@ const MULTI_OPS: &[&str] = &[
     "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
 ];
 
-const ALLOW_MARKER: &str = "xtask-allow:";
+const ALLOW_MARKER: &str = "xtask-allow";
+
+/// Splits a comma-separated lint list, keeping each segment's leading
+/// lint-name token and returning any trailing free-form text of the last
+/// segment as commentary.
+fn split_lint_list(list: &str) -> (Vec<String>, String) {
+    let mut lints = Vec::new();
+    let mut trailing = String::new();
+    for seg in list.split(',') {
+        let seg = seg.trim();
+        let name: String =
+            seg.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '-').collect();
+        if !name.is_empty() {
+            lints.push(name.clone());
+        }
+        trailing = seg[name.len()..].trim().to_string();
+    }
+    (lints, trailing)
+}
 
 fn record_allow(comment: &str, line: usize, allows: &mut Vec<Allow>) {
-    if let Some(pos) = comment.find(ALLOW_MARKER) {
-        let lints = comment[pos + ALLOW_MARKER.len()..]
-            .split(',')
-            .map(|s| {
-                // Keep the leading lint-name token; anything after it
-                // (`(justification)`, `-- why`) is free-form commentary.
-                s.trim()
-                    .chars()
-                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
-                    .collect::<String>()
-            })
-            .filter(|s| !s.is_empty())
-            .collect();
-        allows.push(Allow { line, lints });
+    let Some(pos) = comment.find(ALLOW_MARKER) else { return };
+    let rest = &comment[pos + ALLOW_MARKER.len()..];
+    // Preferred grammar: `xtask-allow(<lints>): <reason>`.
+    if let Some(body) = rest.strip_prefix('(') {
+        let Some(close) = body.find(')') else { return };
+        let (lints, _) = split_lint_list(&body[..close]);
+        let reason =
+            body[close + 1..].trim_start().strip_prefix(':').map(str::trim).unwrap_or_default();
+        allows.push(Allow { line, lints, reason: reason.to_string() });
+    } else if let Some(body) = rest.strip_prefix(':') {
+        // Legacy grammar: `xtask-allow: <lints> [commentary]` — commentary
+        // after the last lint name counts as the justification.
+        let (lints, reason) = split_lint_list(body);
+        allows.push(Allow { line, lints, reason });
     }
 }
 
@@ -353,6 +376,32 @@ mod tests {
         assert_eq!(lexed.allows.len(), 1);
         assert_eq!(lexed.allows[0].line, 1);
         assert_eq!(lexed.allows[0].lints, vec!["money-safety", "no-panic-in-libs"]);
+        assert!(lexed.allows[0].reason.is_empty(), "bare escape carries no reason");
+    }
+
+    #[test]
+    fn justified_allow_grammar_records_reason() {
+        let src = "x(); // xtask-allow(no-panic-in-libs): config validation is fail-fast\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].lints, vec!["no-panic-in-libs"]);
+        assert_eq!(lexed.allows[0].reason, "config validation is fail-fast");
+    }
+
+    #[test]
+    fn justified_allow_grammar_takes_multiple_lints() {
+        let src = "y(); // xtask-allow(money-safety, narrowing-cast-audit): report-only path\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows[0].lints, vec!["money-safety", "narrowing-cast-audit"]);
+        assert_eq!(lexed.allows[0].reason, "report-only path");
+    }
+
+    #[test]
+    fn legacy_allow_trailing_commentary_counts_as_reason() {
+        let src = "z(); // xtask-allow: exhaustive-tier-match (any colder tier is \"not hot\")\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows[0].lints, vec!["exhaustive-tier-match"]);
+        assert!(lexed.allows[0].reason.contains("colder tier"), "{:?}", lexed.allows[0]);
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! The four MiniCost-specific lints.
+//! The MiniCost-specific lints (L1–L4 token lints, L10 escape hygiene;
+//! L5–L9 live in [`crate::syntax_lints`]).
 //!
 //! Each lint walks the token stream from [`crate::lexer::lex`] with brace-depth
 //! and `#[cfg(test)]`-region tracking. Violations carry `file:line` positions
-//! and can be suppressed with `// xtask-allow: <lint>` on the offending line or
-//! the line above.
+//! and can be suppressed with `// xtask-allow(<lint>): <reason>` on the
+//! offending line or the line above (L10 requires the reason).
 
 use crate::lexer::{lex, Lexed, Tok, TokKind};
 use std::fmt;
@@ -30,6 +31,8 @@ pub enum Lint {
     ExhaustiveTierMatch,
     /// L9: undocumented `pub` items in library crates.
     PubApiDocCoverage,
+    /// L10: escape-hatch comments without a justification reason.
+    EscapeJustification,
 }
 
 impl Lint {
@@ -45,11 +48,12 @@ impl Lint {
             Lint::NarrowingCastAudit => "narrowing-cast-audit",
             Lint::ExhaustiveTierMatch => "exhaustive-tier-match",
             Lint::PubApiDocCoverage => "pub-api-doc-coverage",
+            Lint::EscapeJustification => "escape-hatch-justification",
         }
     }
 
     /// All lints, in diagnostic order.
-    pub fn all() -> [Lint; 9] {
+    pub fn all() -> [Lint; 10] {
         [
             Lint::MoneySafety,
             Lint::NoPanicInLibs,
@@ -60,6 +64,7 @@ impl Lint {
             Lint::NarrowingCastAudit,
             Lint::ExhaustiveTierMatch,
             Lint::PubApiDocCoverage,
+            Lint::EscapeJustification,
         ]
     }
 }
@@ -143,6 +148,8 @@ impl FileContext {
             }
             Lint::ExhaustiveTierMatch => true,
             Lint::PubApiDocCoverage => in_lib,
+            // Escapes are loans everywhere — bins, benches, and fixtures too.
+            Lint::EscapeJustification => true,
         }
     }
 }
@@ -176,6 +183,7 @@ pub fn scan_source(path: &Path, src: &str, ctx: &FileContext) -> Vec<Violation> 
             }
             Lint::ExhaustiveTierMatch => crate::syntax_lints::lint_tier_match(&lexed.toks, &marks),
             Lint::PubApiDocCoverage => crate::syntax_lints::lint_pub_doc(&items),
+            Lint::EscapeJustification => lint_escape_justification(&lexed),
         };
         for (line, message) in raw {
             if allowed(&lexed, lint, line) {
@@ -189,12 +197,36 @@ pub fn scan_source(path: &Path, src: &str, ctx: &FileContext) -> Vec<Violation> 
 }
 
 /// True if an `xtask-allow` comment covers `lint` at `line` (same line or the
-/// line directly above).
+/// line directly above). L10 itself can only be suppressed by a *justified*
+/// escape — otherwise a bare `xtask-allow: all` would grant itself amnesty.
 fn allowed(lexed: &Lexed, lint: Lint, line: usize) -> bool {
     lexed.allows.iter().any(|a| {
         (a.line == line || a.line + 1 == line)
             && a.lints.iter().any(|l| l == lint.name() || l == "all")
+            && (lint != Lint::EscapeJustification || !a.reason.is_empty())
     })
+}
+
+/// L10: every `xtask-allow` escape comment must carry a justification —
+/// `// xtask-allow(<lint>): <reason>`. Suppressions are loans; the reason is
+/// the loan paperwork.
+fn lint_escape_justification(lexed: &Lexed) -> Vec<(usize, String)> {
+    lexed
+        .allows
+        .iter()
+        .filter(|a| a.reason.is_empty())
+        .map(|a| {
+            (
+                a.line,
+                format!(
+                    "escape hatch for `{}` has no justification; write \
+                     `// xtask-allow({}): <reason>`",
+                    a.lints.join(", "),
+                    a.lints.join(", "),
+                ),
+            )
+        })
+        .collect()
 }
 
 /// Per-token context: brace depth and whether the token is inside test code.
@@ -706,19 +738,48 @@ mod tests {
 
     #[test]
     fn allow_comment_suppresses_same_line() {
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // xtask-allow: no-panic-in-libs";
+        let src =
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // xtask-allow(no-panic-in-libs): test shim";
         assert!(scan(src, "rl").is_empty());
     }
 
     #[test]
     fn allow_comment_suppresses_next_line() {
-        let src = "// xtask-allow: seeded-rng-only\nfn f() { let _ = thread_rng(); }";
+        let src =
+            "// xtask-allow(seeded-rng-only): exploratory tool\nfn f() { let _ = thread_rng(); }";
         assert!(scan(src, "trace").is_empty());
     }
 
     #[test]
     fn allow_for_other_lint_does_not_suppress() {
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // xtask-allow: money-safety";
-        assert_eq!(scan(src, "rl").len(), 1);
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // xtask-allow(money-safety): n/a";
+        assert_eq!(scan(src, "rl").iter().filter(|v| v.lint == Lint::NoPanicInLibs).count(), 1);
+    }
+
+    #[test]
+    fn l10_flags_bare_escape_hatches() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // xtask-allow: no-panic-in-libs";
+        let v = scan(src, "rl");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].lint, Lint::EscapeJustification);
+        assert!(v[0].message.contains("no-panic-in-libs"), "{v:?}");
+    }
+
+    #[test]
+    fn l10_accepts_justified_escapes_both_grammars() {
+        let new_style =
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // xtask-allow(no-panic-in-libs): shim";
+        assert!(scan(new_style, "rl").is_empty());
+        let legacy =
+            "fn f(x: u64) -> u32 { x as u32 } // xtask-allow: narrowing-cast-audit (bounded)";
+        assert!(scan(legacy, "core").is_empty());
+    }
+
+    #[test]
+    fn l10_cannot_be_suppressed_by_a_bare_escape() {
+        let src = "fn f() {} // xtask-allow: all";
+        let v = scan(src, "rl");
+        assert_eq!(v.len(), 1, "bare `all` must not grant itself amnesty: {v:?}");
+        assert_eq!(v[0].lint, Lint::EscapeJustification);
     }
 }

@@ -1,0 +1,239 @@
+//! F3 `lock-order`: lock acquisition orderings must be acyclic.
+//!
+//! The analysis extracts, per function, which locks are acquired while
+//! another is held, then closes over the call graph (a call made while a
+//! guard is live acquires everything its callee transitively locks). Locks
+//! are identified by field/binding name — the identifier before `.lock()`
+//! (`self.actor.lock()` acquires `actor`) — which is exact for the
+//! workspace's style of named mutex fields. Held-while-acquired pairs come
+//! from two shapes:
+//!
+//! - a `let`-bound guard live in scope when another `.lock()` runs (scoped
+//!   by brace depth, like lint L4's guard tracking),
+//! - two `.lock()` temporaries in one statement (both alive until the
+//!   statement's end: `f(a.lock(), b.lock())` orders `a` before `b`).
+//!
+//! Every cycle in the resulting ordering graph is reported once, with one
+//! example acquisition site per edge. A justified
+//! `// xtask-allow(lock-order): <reason>` on the second acquisition
+//! suppresses that edge.
+
+use crate::flow::{flow_allowed, FlowDiag, FlowKind, FnGraph, Workspace};
+use crate::lexer::TokKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `A` -> `B` observation: where `B` was acquired while `A` was held.
+#[derive(Clone, Debug)]
+struct EdgeSite {
+    /// Function the acquisition happened in.
+    node: usize,
+    /// 1-based line of the second acquisition (or the call that performs it).
+    line: usize,
+}
+
+/// Per-function extraction results.
+#[derive(Debug, Default)]
+struct FnLocks {
+    /// Locks this body acquires directly.
+    own: BTreeSet<String>,
+    /// Direct held-while-acquired pairs, with their site.
+    pairs: Vec<(String, String, usize)>,
+    /// Calls made while locks were held: (held locks, callee node, line).
+    held_calls: Vec<(BTreeSet<String>, usize, usize)>,
+}
+
+/// Scans one function body for acquisitions, guard scopes, and held calls.
+fn scan_fn(ws: &Workspace, g: &FnGraph, ix: usize) -> FnLocks {
+    let node = &g.nodes[ix];
+    let Some((start, end)) = node.body else { return FnLocks::default() };
+    let sf = &ws.files[node.file_ix];
+    let toks = &sf.lexed.toks[start..end.min(sf.lexed.toks.len())];
+    let mut out = FnLocks::default();
+    // Let-bound guards: (lock name, brace depth at acquisition).
+    let mut guards: Vec<(String, usize)> = Vec::new();
+    // Temporaries of the current statement.
+    let mut stmt_locks: Vec<String> = Vec::new();
+    let mut pending_let = false;
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        match &t.kind {
+            TokKind::Punct(p) if p == "{" => depth += 1,
+            TokKind::Punct(p) if p == "}" => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|(_, d)| *d <= depth);
+                stmt_locks.clear();
+                pending_let = false;
+            }
+            TokKind::Punct(p) if p == ";" => {
+                stmt_locks.clear();
+                pending_let = false;
+            }
+            TokKind::Ident(id) if id == "let" => pending_let = true,
+            TokKind::Ident(id) if id == "lock" => {
+                let is_method = i >= 2
+                    && toks[i - 1].kind.is_punct(".")
+                    && toks.get(i + 1).is_some_and(|n| n.kind.is_punct("("));
+                if !is_method {
+                    continue;
+                }
+                let Some(lock) = toks[i - 2].kind.ident().map(str::to_string) else { continue };
+                for held in guards.iter().map(|(l, _)| l).chain(stmt_locks.iter()) {
+                    if *held != lock && !flow_allowed(&sf.lexed, FlowKind::LockOrder, t.line) {
+                        out.pairs.push((held.clone(), lock.clone(), t.line));
+                    }
+                }
+                out.own.insert(lock.clone());
+                if pending_let {
+                    guards.push((lock, depth));
+                    pending_let = false;
+                } else {
+                    stmt_locks.push(lock);
+                }
+            }
+            TokKind::Ident(name) => {
+                // A call under held locks: defer to the callee's transitive
+                // acquisition set (filled in after the fixpoint).
+                let called = toks.get(i + 1).is_some_and(|n| n.kind.is_punct("("));
+                if called && !guards.is_empty() && !g.named(name).is_empty() {
+                    let held: BTreeSet<String> = guards.iter().map(|(l, _)| l.clone()).collect();
+                    for &callee in g.named(name) {
+                        if callee != ix {
+                            out.held_calls.push((held.clone(), callee, t.line));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Runs the analysis: extraction, transitive-acquisition fixpoint, cycle
+/// detection over the lock-ordering graph.
+pub fn analyze(ws: &Workspace, g: &FnGraph) -> Vec<FlowDiag> {
+    let per_fn: Vec<FnLocks> = (0..g.nodes.len()).map(|ix| scan_fn(ws, g, ix)).collect();
+
+    // Transitive acquisition sets: own locks plus everything callees lock.
+    let mut acq: Vec<BTreeSet<String>> = per_fn.iter().map(|f| f.own.clone()).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for ix in 0..g.nodes.len() {
+            for &c in &g.nodes[ix].callees {
+                if c == ix {
+                    continue;
+                }
+                let extra: Vec<String> =
+                    acq[c].iter().filter(|l| !acq[ix].contains(*l)).cloned().collect();
+                if !extra.is_empty() {
+                    acq[ix].extend(extra);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Ordering edges: first example site per (held, acquired) pair.
+    let mut edges: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
+    for (ix, f) in per_fn.iter().enumerate() {
+        for (a, b, line) in &f.pairs {
+            edges.entry((a.clone(), b.clone())).or_insert(EdgeSite { node: ix, line: *line });
+        }
+        for (held, callee, line) in &f.held_calls {
+            for a in held {
+                for b in &acq[*callee] {
+                    if a != b {
+                        edges
+                            .entry((a.clone(), b.clone()))
+                            .or_insert(EdgeSite { node: ix, line: *line });
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection: for each edge a -> b, a path b ->* a closes a cycle.
+    // Canonicalize (rotate so the smallest lock leads) to report each once.
+    let adj: BTreeMap<&String, Vec<&String>> =
+        edges.keys().fold(BTreeMap::new(), |mut m, (a, b)| {
+            m.entry(a).or_default().push(b);
+            m
+        });
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut diags = Vec::new();
+    for (a, b) in edges.keys() {
+        let Some(mut path) = shortest_path(&adj, b, a) else { continue };
+        // path: b ->* a; full cycle is a -> b ->* a.
+        path.insert(0, a.clone());
+        let canon = canonical_cycle(&path);
+        if !seen.insert(canon.clone()) {
+            continue;
+        }
+        let trace: Vec<String> = canon
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let next = &canon[(i + 1) % canon.len()];
+                let site = &edges[&(l.clone(), next.clone())];
+                format!("`{l}` held while acquiring `{next}` in {} ", g.label(ws, site.node))
+            })
+            .collect();
+        let first = &edges[&(canon[0].clone(), canon[1 % canon.len()].clone())];
+        let node = &g.nodes[first.node];
+        diags.push(FlowDiag {
+            kind: FlowKind::LockOrder,
+            file: ws.files[node.file_ix].file.clone(),
+            line: first.line,
+            symbol: node.key.clone(),
+            message: format!(
+                "lock-order cycle: {} -> {} (potential deadlock under concurrent callers)",
+                canon.join(" -> "),
+                canon[0],
+            ),
+            trace,
+        });
+    }
+    diags
+}
+
+/// BFS shortest path `from ->* to` over the ordering graph, inclusive.
+fn shortest_path(
+    adj: &BTreeMap<&String, Vec<&String>>,
+    from: &String,
+    to: &String,
+) -> Option<Vec<String>> {
+    let mut prev: BTreeMap<&String, &String> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    let mut seen: BTreeSet<&String> = BTreeSet::from([from]);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            let mut path = vec![n.clone()];
+            let mut cur = n;
+            while let Some(p) = prev.get(cur) {
+                path.push((*p).clone());
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for next in adj.get(n).into_iter().flatten() {
+            if seen.insert(next) {
+                prev.insert(next, n);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// Rotates a cycle (no repeated terminal) so the smallest lock leads.
+fn canonical_cycle(path: &[String]) -> Vec<String> {
+    // Drop the repeated terminal if present (path ends where it started).
+    let cycle: &[String] =
+        if path.len() > 1 && path.first() == path.last() { &path[..path.len() - 1] } else { path };
+    let Some(min_ix) = cycle.iter().enumerate().min_by(|a, b| a.1.cmp(b.1)).map(|(i, _)| i) else {
+        return Vec::new();
+    };
+    cycle[min_ix..].iter().chain(cycle[..min_ix].iter()).cloned().collect()
+}

@@ -1,14 +1,18 @@
 //! `cargo xtask` — the workspace static-analysis gate.
 //!
 //! `cargo xtask check` runs, in order:
-//! 1. the nine custom MiniCost lints (L1 `money-safety`, L2
+//! 1. the ten custom MiniCost lints (L1 `money-safety`, L2
 //!    `no-panic-in-libs`, L3 `seeded-rng-only`, L4 `lock-discipline`, L5
 //!    `hashmap-iter-determinism`, L6 `float-reduction-order`, L7
 //!    `narrowing-cast-audit`, L8 `exhaustive-tier-match`, L9
-//!    `pub-api-doc-coverage`) over every `crates/*/src` tree, filtered
-//!    through the committed `xtask-baseline.json` (expired entries fail),
-//! 2. `cargo fmt --check` over the workspace crates,
-//! 3. `cargo clippy --all-targets -- -D warnings` over the workspace crates.
+//!    `pub-api-doc-coverage`, L10 `escape-hatch-justification`) over every
+//!    `crates/*/src` tree, filtered through the committed
+//!    `xtask-baseline.json` (expired entries fail),
+//! 2. the three interprocedural flow analyses (F1 `determinism-taint`, F2
+//!    `panic-reachability`, F3 `lock-order`; DESIGN.md §12) over the
+//!    workspace call graph, sharing the same baseline,
+//! 3. `cargo fmt --check` over the workspace crates,
+//! 4. `cargo clippy --all-targets -- -D warnings` over the workspace crates.
 //!
 //! `cargo xtask check --json` emits machine-readable diagnostics on stdout
 //! (schema in DESIGN.md §8) with human progress diverted to stderr.
@@ -18,19 +22,28 @@
 //!
 //! `cargo xtask graph [--json]` prints the workspace symbol/call graph.
 //!
+//! `cargo xtask flow [--json|--dot]` runs only the flow analyses; `--dot`
+//! exports the tainted call subgraph as Graphviz.
+//!
 //! Any violation or failed gate exits nonzero with `file:line` diagnostics.
 
 mod baseline;
+mod flow;
 mod graph;
 mod json;
 mod lexer;
 mod lints;
+mod lockorder;
 mod parser;
+mod reach;
 mod syntax_lints;
+mod taint;
 mod walk;
 
 #[cfg(test)]
 mod fixture_tests;
+#[cfg(test)]
+mod flow_tests;
 
 use json::Json;
 use lints::{scan_source, FileContext, Lint, Violation};
@@ -60,6 +73,7 @@ fn main() -> ExitCode {
     match cmd {
         "check" => cmd_check(json_mode),
         "graph" => cmd_graph(json_mode),
+        "flow" => cmd_flow(rest),
         "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -77,12 +91,15 @@ fn print_usage() {
     eprintln!(
         "usage: cargo xtask <command>\n\n\
          commands:\n  \
-         check [--json]   run the nine custom lints (baseline-filtered) +\n                   \
-         `cargo fmt --check` + clippy gate; --json emits the\n                   \
-         diagnostics document (DESIGN.md \u{a7}8) on stdout\n  \
-         graph [--json]   print the workspace symbol/call graph\n  \
-         lint <path>...   run only the custom lints over the given paths\n  \
-         help             show this message"
+         check [--json]     run the ten custom lints + flow analyses\n                     \
+         (baseline-filtered) + `cargo fmt --check` + clippy\n                     \
+         gate; --json emits the diagnostics document\n                     \
+         (DESIGN.md \u{a7}8) on stdout\n  \
+         flow [--json|--dot] run only the F1-F3 flow analyses (DESIGN.md\n                     \
+         \u{a7}12); --dot exports the tainted call subgraph\n  \
+         graph [--json]     print the workspace symbol/call graph\n  \
+         lint <path>...     run only the custom lints over the given paths\n  \
+         help               show this message"
     );
 }
 
@@ -155,7 +172,7 @@ fn cmd_check(json_mode: bool) -> ExitCode {
     let mut failed = false;
 
     // 1. Custom lints, filtered through the committed baseline.
-    progress!(json_mode, "==> custom lints (L1-L9, baseline: xtask-baseline.json)");
+    progress!(json_mode, "==> custom lints (L1-L10, baseline: xtask-baseline.json)");
     let files = match walk::workspace_lint_files(&root) {
         Ok(f) => f,
         Err(e) => {
@@ -177,17 +194,41 @@ fn cmd_check(json_mode: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // 2. Flow analyses over the call graph, sharing the same baseline.
+    progress!(
+        json_mode,
+        "==> flow analyses (F1 determinism-taint, F2 panic-reachability, F3 lock-order)"
+    );
+    let (flow_diags, flow_warnings) = match run_flow(&root) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for w in &flow_warnings {
+        eprintln!("warning: {w}");
+    }
+
+    // One combined baseline application keeps `unused` accurate across both
+    // diagnostic families: lints first, flow diagnostics after.
     let today = baseline::today_utc();
-    let applied = base.apply(&violations, &today);
-    let fresh: Vec<&Violation> = violations
-        .iter()
-        .zip(&applied.matched)
-        .filter(|(_, m)| m.is_none())
-        .map(|(v, _)| v)
-        .collect();
-    let baselined = violations.len() - fresh.len();
+    let mut items: Vec<(String, String)> =
+        violations.iter().map(|v| (v.lint.name().to_string(), v.file.clone())).collect();
+    items.extend(flow_diags.iter().map(|d| (d.kind.name().to_string(), d.file.clone())));
+    let applied = base.apply_named(&items, &today);
+    let (lint_matched, flow_matched) = applied.matched.split_at(violations.len());
+    let fresh: Vec<&Violation> =
+        violations.iter().zip(lint_matched).filter(|(_, m)| m.is_none()).map(|(v, _)| v).collect();
+    let fresh_flow: Vec<&flow::FlowDiag> =
+        flow_diags.iter().zip(flow_matched).filter(|(_, m)| m.is_none()).map(|(d, _)| d).collect();
+    let baselined = violations.len() - fresh.len() + flow_diags.len() - fresh_flow.len();
     for v in &fresh {
         eprintln!("{v}");
+    }
+    for d in &fresh_flow {
+        eprintln!("{d}");
     }
     for e in &applied.expired {
         eprintln!(
@@ -216,8 +257,17 @@ fn cmd_check(json_mode: bool) -> ExitCode {
         );
         failed = true;
     }
+    let flow_ok = fresh_flow.is_empty();
+    if flow_ok {
+        progress!(json_mode, "==> flow analyses passed ({} diagnostic(s) baselined)", {
+            flow_diags.len() - fresh_flow.len()
+        });
+    } else {
+        eprintln!("==> flow analyses FAILED: {} fresh diagnostic(s)", fresh_flow.len());
+        failed = true;
+    }
 
-    // 2. rustfmt gate.
+    // 3. rustfmt gate.
     progress!(json_mode, "==> cargo fmt --check");
     let fmt_ok = run_cargo(&root, &fmt_args(), json_mode);
     if !fmt_ok {
@@ -225,7 +275,7 @@ fn cmd_check(json_mode: bool) -> ExitCode {
         failed = true;
     }
 
-    // 3. clippy gate, deny warnings.
+    // 4. clippy gate, deny warnings.
     progress!(json_mode, "==> cargo clippy --all-targets -- -D warnings");
     let clippy_ok = run_cargo(&root, &clippy_args(), json_mode);
     if !clippy_ok {
@@ -234,8 +284,16 @@ fn cmd_check(json_mode: bool) -> ExitCode {
     }
 
     if json_mode {
-        let doc =
-            diagnostics_json(&root, files.len(), &violations, &applied, fmt_ok, clippy_ok, !failed);
+        let doc = diagnostics_json(
+            &root,
+            files.len(),
+            &violations,
+            &flow_diags,
+            &applied,
+            fmt_ok,
+            clippy_ok,
+            !failed,
+        );
         print!("{}", doc.render());
     }
     if failed {
@@ -248,10 +306,12 @@ fn cmd_check(json_mode: bool) -> ExitCode {
 }
 
 /// Assembles the `cargo xtask check --json` document (schema: DESIGN.md §8).
+#[allow(clippy::too_many_arguments)]
 fn diagnostics_json(
     root: &Path,
     file_count: usize,
     violations: &[Violation],
+    flow_diags: &[flow::FlowDiag],
     applied: &baseline::Applied,
     fmt_ok: bool,
     clippy_ok: bool,
@@ -269,7 +329,9 @@ fn diagnostics_json(
             ("expires", Json::Str(e.expires.clone())),
         ])
     };
-    let fresh = applied.matched.iter().filter(|m| m.is_none()).count();
+    let (lint_matched, flow_matched) = applied.matched.split_at(violations.len());
+    let fresh = lint_matched.iter().filter(|m| m.is_none()).count();
+    let flow_fresh = flow_matched.iter().filter(|m| m.is_none()).count();
     Json::obj([
         ("version", Json::Num(1)),
         ("lints", Json::Arr(Lint::all().iter().map(|l| Json::Str(l.name().to_string())).collect())),
@@ -278,7 +340,7 @@ fn diagnostics_json(
             Json::Arr(
                 violations
                     .iter()
-                    .zip(&applied.matched)
+                    .zip(lint_matched)
                     .map(|(v, m)| {
                         Json::obj([
                             ("lint", Json::Str(v.lint.name().to_string())),
@@ -292,6 +354,30 @@ fn diagnostics_json(
             ),
         ),
         (
+            "flow",
+            Json::obj([
+                (
+                    "kinds",
+                    Json::Arr(
+                        flow::FlowKind::all()
+                            .iter()
+                            .map(|k| Json::Str(k.name().to_string()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "diagnostics",
+                    Json::Arr(
+                        flow_diags
+                            .iter()
+                            .zip(flow_matched)
+                            .map(|(d, m)| flow_diag_json(d, m.is_some()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
             "baseline",
             Json::obj([
                 ("path", Json::Str("xtask-baseline.json".to_string())),
@@ -303,6 +389,7 @@ fn diagnostics_json(
             "gates",
             Json::obj([
                 ("lints", Json::Bool(fresh == 0 && applied.expired.is_empty())),
+                ("flow", Json::Bool(flow_fresh == 0)),
                 ("fmt", Json::Bool(fmt_ok)),
                 ("clippy", Json::Bool(clippy_ok)),
             ]),
@@ -317,10 +404,143 @@ fn diagnostics_json(
                     "baselined",
                     Json::Num(i64::try_from(violations.len() - fresh).unwrap_or(i64::MAX)),
                 ),
+                ("flow_total", Json::Num(i64::try_from(flow_diags.len()).unwrap_or(i64::MAX))),
+                ("flow_fresh", Json::Num(i64::try_from(flow_fresh).unwrap_or(i64::MAX))),
                 ("ok", Json::Bool(ok)),
             ]),
         ),
     ])
+}
+
+/// One flow diagnostic as JSON (shared by the check and flow documents).
+fn flow_diag_json(d: &flow::FlowDiag, baselined: bool) -> Json {
+    Json::obj([
+        ("kind", Json::Str(d.kind.name().to_string())),
+        ("code", Json::Str(d.kind.code().to_string())),
+        ("file", Json::Str(d.file.clone())),
+        ("line", Json::Num(i64::try_from(d.line).unwrap_or(i64::MAX))),
+        ("symbol", Json::Str(d.symbol.clone())),
+        ("message", Json::Str(d.message.clone())),
+        ("trace", Json::Arr(d.trace.iter().map(|s| Json::Str(s.clone())).collect())),
+        ("baselined", Json::Bool(baselined)),
+    ])
+}
+
+/// Loads the workspace, builds the call graph, and runs the F1–F3 analyses.
+fn run_flow(root: &Path) -> Result<(Vec<flow::FlowDiag>, Vec<String>), String> {
+    let ws = flow::Workspace::load_flow(root)?;
+    let g = flow::FnGraph::build(&ws);
+    let allow = reach::PanicAllowlist::load(root)?;
+    Ok(flow::analyze(&ws, &g, &allow))
+}
+
+/// `cargo xtask flow [--json|--dot]`: the flow analyses standalone.
+fn cmd_flow(args: &[String]) -> ExitCode {
+    let json_mode = args.iter().any(|a| a == "--json");
+    let root = walk::repo_root();
+    if args.iter().any(|a| a == "--dot") {
+        let ws = match flow::Workspace::load_flow(&root) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let g = flow::FnGraph::build(&ws);
+        let t = taint::compute(&ws, &g);
+        print!("{}", taint::dot(&ws, &g, &t));
+        return ExitCode::SUCCESS;
+    }
+    let (diags, warnings) = match run_flow(&root) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base = match baseline::Baseline::load(&root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: baseline unreadable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let today = baseline::today_utc();
+    let items: Vec<(String, String)> =
+        diags.iter().map(|d| (d.kind.name().to_string(), d.file.clone())).collect();
+    let mut applied = base.apply_named(&items, &today);
+    // Standalone runs only see flow diagnostics, so only flow-kind baseline
+    // entries can be judged expired/unused here; lint entries are check's.
+    let flow_names: Vec<&str> = flow::FlowKind::all().iter().map(|k| k.name()).collect();
+    applied.expired.retain(|e| flow_names.contains(&e.lint.as_str()));
+    applied.unused.retain(|e| flow_names.contains(&e.lint.as_str()));
+    let fresh: Vec<&flow::FlowDiag> =
+        diags.iter().zip(&applied.matched).filter(|(_, m)| m.is_none()).map(|(d, _)| d).collect();
+    for w in &warnings {
+        eprintln!("warning: {w}");
+    }
+    for d in &fresh {
+        if json_mode {
+            eprintln!("{d}");
+        } else {
+            println!("{d}");
+        }
+    }
+    for e in &applied.expired {
+        eprintln!(
+            "error: baseline entry expired {}: {} in {} ({})",
+            e.expires, e.lint, e.file, e.reason
+        );
+    }
+    for e in &applied.unused {
+        eprintln!(
+            "warning: unused baseline entry: {} in {} (expires {})",
+            e.lint, e.file, e.expires
+        );
+    }
+    let ok = fresh.is_empty() && applied.expired.is_empty();
+    if json_mode {
+        let doc = Json::obj([
+            ("version", Json::Num(1)),
+            (
+                "kinds",
+                Json::Arr(
+                    flow::FlowKind::all().iter().map(|k| Json::Str(k.name().to_string())).collect(),
+                ),
+            ),
+            (
+                "diagnostics",
+                Json::Arr(
+                    diags
+                        .iter()
+                        .zip(&applied.matched)
+                        .map(|(d, m)| flow_diag_json(d, m.is_some()))
+                        .collect(),
+                ),
+            ),
+            ("warnings", Json::Arr(warnings.iter().map(|w| Json::Str(w.clone())).collect())),
+            (
+                "summary",
+                Json::obj([
+                    ("total", Json::Num(i64::try_from(diags.len()).unwrap_or(i64::MAX))),
+                    ("fresh", Json::Num(i64::try_from(fresh.len()).unwrap_or(i64::MAX))),
+                    ("ok", Json::Bool(ok)),
+                ]),
+            ),
+        ]);
+        print!("{}", doc.render());
+    }
+    if ok {
+        progress!(json_mode, "xtask flow: clean ({} baselined)", diags.len() - fresh.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "xtask flow: FAILED ({} fresh diagnostic(s), {} expired entr(ies))",
+            fresh.len(),
+            applied.expired.len()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 /// Builds the workspace symbol graph and prints the summary (or, with
@@ -328,41 +548,14 @@ fn diagnostics_json(
 /// surface, and every resolved/unresolved call edge).
 fn cmd_graph(json_mode: bool) -> ExitCode {
     let root = walk::repo_root();
-    let mut sources: Vec<(String, String, lexer::Lexed)> = Vec::new();
-    for (dir, _) in graph::CRATE_LIB_NAMES {
-        let crate_src = root.join("crates").join(dir).join("src");
-        let files = match walk::rust_files(&crate_src) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("error: cannot read {}: {e}", crate_src.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        for file in files {
-            let Ok(src) = std::fs::read_to_string(&file) else {
-                eprintln!("error: cannot read {}", file.display());
-                return ExitCode::FAILURE;
-            };
-            let display = file
-                .strip_prefix(&root)
-                .map_or_else(|_| file.display().to_string(), |p| p.display().to_string());
-            sources.push((dir.to_string(), display, lexer::lex(&src)));
+    let ws = match flow::Workspace::load(&root) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
-    }
-    let parsed_items: Vec<Vec<parser::Item>> = sources
-        .iter()
-        .map(|(_, _, lexed)| parser::parse_items(lexed, &lints::mark_regions(&lexed.toks)))
-        .collect();
-    let parsed: Vec<graph::ParsedFile<'_>> = sources
-        .iter()
-        .zip(&parsed_items)
-        .map(|((krate, file, lexed), items)| graph::ParsedFile {
-            krate: krate.clone(),
-            file: file.clone(),
-            lexed,
-            items,
-        })
-        .collect();
+    };
+    let parsed = ws.parsed();
     let g = graph::SymbolGraph::build(&parsed);
     if json_mode {
         print!("{}", graph_json(&g).render());

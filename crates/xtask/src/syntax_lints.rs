@@ -656,7 +656,7 @@ mod tests {
 
     #[test]
     fn allow_comment_suppresses_new_lints() {
-        let src = "fn f(x: u64) -> u32 { x as u32 } // xtask-allow: narrowing-cast-audit";
+        let src = "fn f(x: u64) -> u32 { x as u32 } // xtask-allow(narrowing-cast-audit): bounded";
         assert!(scan(src, "core").is_empty());
     }
 }
