@@ -67,8 +67,8 @@ pub struct ShardRun {
     /// Cumulative cost per shard file over the whole run (parallel to
     /// `indices`).
     pub per_file: Vec<Money>,
-    /// Wall-clock milliseconds this shard spent in `Policy::decide_batch`,
-    /// one entry per decision day.
+    /// Wall-clock milliseconds this shard spent in
+    /// `Policy::decide_batch_into`, one entry per decision day.
     pub decision_millis: Vec<f64>,
     /// Tier changes applied to the shard's files.
     pub tier_changes: u64,
@@ -88,31 +88,34 @@ pub fn run_shard(
     indices: &[usize],
 ) -> ShardRun {
     let m = indices.len();
+    // Setup buffers, sized once per shard; the day loop below reuses them
+    // and must stay allocation-free (the F5 `hot-alloc` gate).
     let mut current = vec![cfg.initial_tier; m];
+    let mut decision = vec![cfg.initial_tier; m];
     let mut daily = Vec::with_capacity(trace.days);
     let mut per_file = vec![Money::ZERO; m];
-    let mut decision_millis = Vec::new();
+    let mut decision_millis = Vec::with_capacity(trace.days);
     let mut tier_changes = 0u64;
     let mut occupancy = Vec::with_capacity(trace.days);
 
     for day in 0..trace.days {
-        // Decision phase.
+        // Decision phase, refilling the hoisted buffer in place.
         let decided = if day % cfg.decide_every.max(1) == 0 {
             let ctx = DecisionContext { day, trace, model, batch: indices, current: &current };
             let start = Instant::now();
-            let decision = policy.decide_batch(&ctx);
+            policy.decide_batch_into(&ctx, &mut decision);
             decision_millis.push(start.elapsed().as_secs_f64() * 1e3);
             assert_eq!(decision.len(), m, "policy must decide every file in the batch");
-            Some(decision)
+            true
         } else {
-            None
+            false
         };
 
         // Billing phase, in ascending global index order.
         let mut breakdown = CostBreakdown::default();
         for (slot, &ix) in indices.iter().enumerate() {
             let file = &trace.files[ix];
-            let target = decided.as_ref().map_or(current[slot], |d| d[slot]);
+            let target = if decided { decision[slot] } else { current[slot] };
             let changed_from = if target != current[slot] {
                 tier_changes += 1;
                 Some(current[slot])

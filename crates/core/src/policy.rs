@@ -68,19 +68,25 @@ impl<'a> DecisionContext<'a> {
 /// A data-storage-type assignment strategy.
 ///
 /// Implementors provide [`Policy::decide_one`] (and may override
-/// [`Policy::decide_batch`] when a batched formulation is cheaper, as the
-/// RL policy's single network pass is) plus [`Policy::fork`], which the
-/// parallel engine uses to give each shard worker a private instance.
+/// [`Policy::decide_batch_into`] when a batched formulation is cheaper, as
+/// the RL policy's single network pass is) plus [`Policy::fork`], which
+/// the parallel engine uses to give each shard worker a private instance.
+///
+/// The batch API is *buffer-reusing*: the engine's day loop calls
+/// [`Policy::decide_batch_into`] with one decision buffer hoisted outside
+/// the loop, so steady-state decision sweeps allocate nothing (the F5
+/// `hot-alloc` gate in `cargo xtask check` enforces this).
+/// [`Policy::decide_batch`] is the owned-buffer convenience wrapper.
 ///
 /// # Determinism contract
 ///
 /// `decide_one(ctx, slot)` must be a pure function of
 /// `(file, day, current-tier-of-that-file, policy state)`, and
-/// `decide_batch` must equal slot-wise `decide_one` bit-for-bit, so that
-/// sharded and single-threaded simulations produce identical ledgers
-/// (DESIGN.md §9). The policy-conformance suite in
-/// `tests/policy_conformance.rs` enforces both properties for every
-/// shipped policy.
+/// `decide_batch_into` must equal slot-wise `decide_one` bit-for-bit —
+/// regardless of the buffer's prior contents — so that sharded and
+/// single-threaded simulations produce identical ledgers (DESIGN.md §9).
+/// The policy-conformance suite in `tests/policy_conformance.rs` enforces
+/// both properties for every shipped policy.
 pub trait Policy: Send {
     /// Short name for reports ("hot", "greedy", "minicost", ...).
     fn name(&self) -> &'static str;
@@ -88,13 +94,28 @@ pub trait Policy: Send {
     /// Tier for the single batch entry `slot` of `ctx`.
     fn decide_one(&mut self, ctx: &DecisionContext<'_>, slot: usize) -> Tier;
 
-    /// Tiers for every batch entry of `ctx`, one per file, in batch order.
+    /// Writes one tier per batch entry of `ctx` into `out`, in batch
+    /// order, replacing whatever `out` held before.
     ///
     /// The default implementation maps [`Policy::decide_one`] over the
-    /// batch; override it only with an implementation that returns the
-    /// exact same tiers.
+    /// batch; override it only with an implementation that writes the
+    /// exact same tiers. Implementations must fully overwrite `out`
+    /// (clear-then-fill) so a dirty reused buffer can never leak a stale
+    /// decision.
+    fn decide_batch_into(&mut self, ctx: &DecisionContext<'_>, out: &mut Vec<Tier>) {
+        out.clear();
+        out.extend((0..ctx.len()).map(|slot| self.decide_one(ctx, slot)));
+    }
+
+    /// Tiers for every batch entry of `ctx`, one per file, in batch order.
+    ///
+    /// Owned-buffer convenience over [`Policy::decide_batch_into`] for
+    /// call sites outside the engine's day loop; the sharded engine reuses
+    /// one buffer instead.
     fn decide_batch(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
-        (0..ctx.len()).map(|slot| self.decide_one(ctx, slot)).collect()
+        let mut out = Vec::new();
+        self.decide_batch_into(ctx, &mut out);
+        out
     }
 
     /// Decides the whole fleet in one batch (convenience for call sites
@@ -145,8 +166,9 @@ impl Policy for SingleTierPolicy {
         self.tier
     }
 
-    fn decide_batch(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
-        vec![self.tier; ctx.len()]
+    fn decide_batch_into(&mut self, ctx: &DecisionContext<'_>, out: &mut Vec<Tier>) {
+        out.clear();
+        out.resize(ctx.len(), self.tier);
     }
 
     fn fork(&self) -> Box<dyn Policy> {
@@ -167,8 +189,9 @@ impl Policy for HotPolicy {
         Tier::Hot
     }
 
-    fn decide_batch(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
-        vec![Tier::Hot; ctx.len()]
+    fn decide_batch_into(&mut self, ctx: &DecisionContext<'_>, out: &mut Vec<Tier>) {
+        out.clear();
+        out.resize(ctx.len(), Tier::Hot);
     }
 
     fn fork(&self) -> Box<dyn Policy> {
@@ -189,8 +212,9 @@ impl Policy for ColdPolicy {
         Tier::Cool
     }
 
-    fn decide_batch(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
-        vec![Tier::Cool; ctx.len()]
+    fn decide_batch_into(&mut self, ctx: &DecisionContext<'_>, out: &mut Vec<Tier>) {
+        out.clear();
+        out.resize(ctx.len(), Tier::Cool);
     }
 
     fn fork(&self) -> Box<dyn Policy> {
@@ -324,20 +348,25 @@ impl Policy for RlPolicy {
     /// decision sweep of Fig. 12 cheap at scale. Every forward row depends
     /// only on its own input row, so the result is bit-identical to
     /// slot-wise [`Policy::decide_one`] regardless of batch composition.
-    fn decide_batch(&mut self, ctx: &DecisionContext<'_>) -> Vec<Tier> {
+    fn decide_batch_into(&mut self, ctx: &DecisionContext<'_>, out: &mut Vec<Tier>) {
+        out.clear();
         if ctx.day == 0 || ctx.is_empty() {
-            return ctx.current.to_vec();
+            out.extend_from_slice(ctx.current);
+            return;
         }
         let dim = self.features.state_dim();
         let mut states = Vec::with_capacity(ctx.len() * dim);
-        for slot in 0..ctx.len() {
-            self.features.encode_into(&mut states, ctx.file(slot), ctx.day, ctx.current[slot]);
+        for (slot, &cur) in ctx.current.iter().enumerate() {
+            self.features.encode_into(&mut states, ctx.file(slot), ctx.day, cur);
         }
         let batch = nn::Matrix::from_vec(ctx.len(), dim, states);
         let logits = self.actor.forward(&batch);
-        (0..ctx.len())
-            .map(|row| Tier::from_index(argmax(logits.row(row))).unwrap_or(ctx.current[row]))
-            .collect()
+        out.extend(
+            ctx.current
+                .iter()
+                .enumerate()
+                .map(|(row, &cur)| Tier::from_index(argmax(logits.row(row))).unwrap_or(cur)),
+        );
     }
 
     fn fork(&self) -> Box<dyn Policy> {
@@ -526,6 +555,34 @@ mod tests {
             let batched = policy.decide_batch(&c);
             let singly: Vec<Tier> = (0..c.len()).map(|slot| policy.decide_one(&c, slot)).collect();
             assert_eq!(batched, singly, "day {day}");
+        }
+    }
+
+    #[test]
+    fn decide_batch_into_overwrites_dirty_buffers() {
+        // The engine reuses one decision buffer across days; a stale entry
+        // must never survive a refill, for any override of the method.
+        let features = FeatureConfig { window: 4 };
+        let spec = test_spec();
+        let actor = spec.build_actor(9);
+        let rl = RlPolicy::from_params(spec, &actor.param_vector(), features);
+        let (trace, model) = setup();
+        let batch = fleet(trace.len());
+        let current = vec![Tier::Hot; trace.len()];
+        let mut policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(HotPolicy),
+            Box::new(ColdPolicy),
+            Box::new(SingleTierPolicy::new(Tier::Archive)),
+            Box::new(GreedyPolicy),
+            rl.fork(),
+        ];
+        for day in [0usize, 3] {
+            let c = ctx(&trace, &model, day, &batch, &current);
+            for policy in &mut policies {
+                let mut dirty = vec![Tier::Archive; trace.len() + 17];
+                policy.decide_batch_into(&c, &mut dirty);
+                assert_eq!(dirty, policy.decide_batch(&c), "{} day {day}", policy.name());
+            }
         }
     }
 

@@ -15,10 +15,13 @@ use std::ops::{Add, AddAssign};
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FileDay {
     /// File size in GB (`D_{d_i}`).
+    /// xtask-unit: GB
     pub size_gb: f64,
     /// Read operations this day (`F_r^t`).
+    /// xtask-unit: ops
     pub reads: u64,
     /// Write operations this day (`F_w^t`).
+    /// xtask-unit: ops
     pub writes: u64,
     /// Tier the file occupies during the day.
     pub tier: Tier,
@@ -39,12 +42,16 @@ impl FileDay {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CostBreakdown {
     /// Storage cost `Cs` (Eq. 6).
+    /// xtask-unit: $
     pub storage: Money,
     /// Tier-change cost `Cc` (Eq. 9).
+    /// xtask-unit: $
     pub change: Money,
     /// Read cost `Cr` (Eq. 7).
+    /// xtask-unit: $
     pub read: Money,
     /// Write cost `Cw` (Eq. 8).
+    /// xtask-unit: $
     pub write: Money,
 }
 

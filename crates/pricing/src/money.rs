@@ -24,6 +24,7 @@ pub struct Money(i64);
 
 impl Money {
     /// Zero dollars.
+    /// xtask-unit: $
     pub const ZERO: Money = Money(0);
 
     /// Largest representable amount (used as an "infinite cost" sentinel in
@@ -36,6 +37,7 @@ impl Money {
 
     /// Creates a `Money` from a dollar amount, rounding to the nearest
     /// micro-dollar (ties away from zero, like `f64::round`).
+    /// xtask-unit(dollars): $
     #[must_use]
     pub fn from_dollars(dollars: f64) -> Self {
         debug_assert!(dollars.is_finite(), "money must be finite: {dollars}");

@@ -11,23 +11,31 @@ use crate::tier::{Tier, TIER_COUNT};
 use serde::{Deserialize, Serialize};
 
 /// Operations per pricing unit: CSPs quote operation prices per 10,000 ops.
+/// A pure scale factor — the per-op prices below absorb the ops dimension.
+/// xtask-unit: 1
 pub const OPS_PER_PRICE_UNIT: f64 = 10_000.0;
 
 /// Days per billing month used to pro-rate monthly storage prices.
+/// xtask-unit: day/month
 pub const DAYS_PER_MONTH: f64 = 30.0;
 
 /// Unit prices for a single storage tier.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TierPrices {
     /// Storage price in dollars per GB per month (`up_j` in Eq. 6).
+    /// xtask-unit: $/GB·month
     pub storage_gb_month: f64,
     /// Read operation price in dollars per 10,000 operations (`urf`, Eq. 7).
+    /// xtask-unit: $/ops
     pub read_per_10k: f64,
     /// Write operation price in dollars per 10,000 operations (`uwf`, Eq. 8).
+    /// xtask-unit: $/ops
     pub write_per_10k: f64,
     /// Data retrieval price in dollars per GB read (`urs`, Eq. 7).
+    /// xtask-unit: $/GB·ops
     pub retrieval_per_gb: f64,
     /// Data write price in dollars per GB written (`uws`, Eq. 8).
+    /// xtask-unit: $/GB·ops
     pub write_data_per_gb: f64,
 }
 
@@ -68,9 +76,11 @@ pub struct PricingPolicy {
     /// Per-tier unit prices, indexed by [`Tier::index`].
     pub tiers: [TierPrices; TIER_COUNT],
     /// Tier-change price matrix in dollars per GB, `[from][to]`.
+    /// xtask-unit: $/GB
     pub change_per_gb: [[f64; TIER_COUNT]; TIER_COUNT],
     /// Flat per-change operation fee in dollars (one op billed at the
     /// destination tier's write price in real CSPs; kept explicit here).
+    /// xtask-unit: $
     pub change_op_fee: f64,
 }
 
@@ -78,7 +88,12 @@ impl PricingPolicy {
     /// Prices for one tier.
     #[must_use]
     pub fn tier(&self, tier: Tier) -> &TierPrices {
-        &self.tiers[tier.index()]
+        let [hot, cool, archive] = &self.tiers;
+        match tier {
+            Tier::Hot => hot,
+            Tier::Cool => cool,
+            Tier::Archive => archive,
+        }
     }
 
     /// One-time cost of moving a file of `size_gb` GB from `from` to `to`
@@ -90,7 +105,18 @@ impl PricingPolicy {
         if from == to {
             return Money::ZERO;
         }
-        let per_gb = self.change_per_gb[from.index()][to.index()];
+        let [from_hot, from_cool, from_archive] = &self.change_per_gb;
+        let row = match from {
+            Tier::Hot => from_hot,
+            Tier::Cool => from_cool,
+            Tier::Archive => from_archive,
+        };
+        let [to_hot, to_cool, to_archive] = row;
+        let per_gb = match to {
+            Tier::Hot => *to_hot,
+            Tier::Cool => *to_cool,
+            Tier::Archive => *to_archive,
+        };
         Money::from_dollars(per_gb * size_gb + self.change_op_fee)
     }
 

@@ -134,8 +134,13 @@ impl BoundedStats {
         self.current.writes.add(u64::from(id), event.writes);
         self.life_reads.add(u64::from(id), event.reads);
         self.life_writes.add(u64::from(id), event.writes);
-        if let Ok(pos) = self.tracked.binary_search_by_key(&id, |t| t.id) {
-            self.tracked[pos].stats.record(event.reads, event.writes);
+        if let Some(t) = self
+            .tracked
+            .binary_search_by_key(&id, |t| t.id)
+            .ok()
+            .and_then(|p| self.tracked.get_mut(p))
+        {
+            t.stats.record(event.reads, event.writes);
         }
     }
 
@@ -196,8 +201,8 @@ impl BoundedStats {
     /// exact if tracked, otherwise ring-sketch estimates.
     #[must_use]
     pub fn window_reads(&self, id: u32) -> Vec<u64> {
-        if let Ok(pos) = self.tracked.binary_search_by_key(&id, |t| t.id) {
-            return self.tracked[pos].stats.recent_reads().to_vec();
+        if let Some(t) = self.tracked_entry(id) {
+            return t.stats.recent_reads().to_vec();
         }
         self.ring.iter().map(|d| d.reads.estimate(u64::from(id))).collect()
     }
@@ -205,8 +210,8 @@ impl BoundedStats {
     /// The last `<= window` closed days of writes for `id`, oldest first.
     #[must_use]
     pub fn window_writes(&self, id: u32) -> Vec<u64> {
-        if let Ok(pos) = self.tracked.binary_search_by_key(&id, |t| t.id) {
-            return self.tracked[pos].stats.recent_writes().to_vec();
+        if let Some(t) = self.tracked_entry(id) {
+            return t.stats.recent_writes().to_vec();
         }
         self.ring.iter().map(|d| d.writes.estimate(u64::from(id))).collect()
     }
@@ -215,9 +220,8 @@ impl BoundedStats {
     /// count-min estimates (never under the truth).
     #[must_use]
     pub fn lifetime(&self, id: u32) -> (u64, u64) {
-        if let Ok(pos) = self.tracked.binary_search_by_key(&id, |t| t.id) {
-            let s = &self.tracked[pos].stats;
-            return (s.sum_reads(), s.sum_writes());
+        if let Some(t) = self.tracked_entry(id) {
+            return (t.stats.sum_reads(), t.stats.sum_writes());
         }
         (self.life_reads.estimate(u64::from(id)), self.life_writes.estimate(u64::from(id)))
     }
@@ -226,10 +230,15 @@ impl BoundedStats {
     /// current-day sketch estimates.
     #[must_use]
     pub fn pending(&self, id: u32) -> (u64, u64) {
-        if let Ok(pos) = self.tracked.binary_search_by_key(&id, |t| t.id) {
-            return self.tracked[pos].stats.pending();
+        if let Some(t) = self.tracked_entry(id) {
+            return t.stats.pending();
         }
         (self.current.reads.estimate(u64::from(id)), self.current.writes.estimate(u64::from(id)))
+    }
+
+    /// The tracked-tier entry for `id`, if it currently holds a slot.
+    fn tracked_entry(&self, id: u32) -> Option<&TrackedFile> {
+        self.tracked.binary_search_by_key(&id, |t| t.id).ok().and_then(|p| self.tracked.get(p))
     }
 }
 

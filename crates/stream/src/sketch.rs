@@ -59,7 +59,9 @@ impl CountMinSketch {
     pub fn add(&mut self, key: u64, count: u64) {
         for row in 0..self.depth {
             let ix = self.cell(row, key);
-            self.rows[ix] = self.rows[ix].saturating_add(count);
+            if let Some(counter) = self.rows.get_mut(ix) {
+                *counter = counter.saturating_add(count);
+            }
         }
     }
 
@@ -67,11 +69,9 @@ impl CountMinSketch {
     /// true count added for `key` (absent counter saturation).
     #[must_use]
     pub fn estimate(&self, key: u64) -> u64 {
-        let mut est = u64::MAX;
-        for row in 0..self.depth {
-            est = est.min(self.rows[self.cell(row, key)]);
-        }
-        est
+        (0..self.depth)
+            .map(|row| self.rows.get(self.cell(row, key)).copied().unwrap_or(u64::MAX))
+            .fold(u64::MAX, u64::min)
     }
 
     /// Zeroes every counter, keeping the geometry and seed.
@@ -130,19 +130,25 @@ impl SpaceSaving {
     pub fn add(&mut self, id: u32, count: u64) {
         match self.entries.binary_search_by_key(&id, |e| e.id) {
             Ok(pos) => {
-                self.entries[pos].count = self.entries[pos].count.saturating_add(count);
+                if let Some(e) = self.entries.get_mut(pos) {
+                    e.count = e.count.saturating_add(count);
+                }
             }
             Err(pos) if self.entries.len() < self.capacity => {
                 self.entries.insert(pos, SpaceSavingEntry { id, count, overestimate: 0 });
             }
             Err(_) => {
-                let mut min_pos = 0;
-                for (i, e) in self.entries.iter().enumerate() {
-                    if e.count < self.entries[min_pos].count {
-                        min_pos = i;
-                    }
-                }
-                let floor = self.entries[min_pos].count;
+                // min_by_key keeps the first minimum, and entries are sorted
+                // by ascending id, so ties evict the smallest id.
+                let Some((min_pos, floor)) = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, e)| e.count)
+                    .map(|(i, e)| (i, e.count))
+                else {
+                    return; // full implies non-empty (capacity >= 1)
+                };
                 self.entries.remove(min_pos);
                 let ins = match self.entries.binary_search_by_key(&id, |e| e.id) {
                     Ok(pos) | Err(pos) => pos,
@@ -162,7 +168,11 @@ impl SpaceSaving {
     /// The tracked estimate for `id`, if currently tracked.
     #[must_use]
     pub fn get(&self, id: u32) -> Option<SpaceSavingEntry> {
-        self.entries.binary_search_by_key(&id, |e| e.id).ok().map(|pos| self.entries[pos])
+        self.entries
+            .binary_search_by_key(&id, |e| e.id)
+            .ok()
+            .and_then(|pos| self.entries.get(pos))
+            .copied()
     }
 
     /// The `k` heaviest tracked entries, descending by count, ties broken

@@ -1,0 +1,69 @@
+//! Fixture: F4 `unit-dimensions`. Not compiled; the units self-tests load
+//! this file as crate `core` and assert each rejection rule fires (mixed
+//! addition, cross-dimension comparison, month/day slip into a `Money`
+//! sink, interprocedural return-dimension propagation) while the correct
+//! proration, polymorphic literals, and the site waiver stay silent.
+
+/// Monthly storage price.
+/// xtask-unit: $/GB·month
+pub const RATE_GB_MONTH: f64 = 0.0184;
+
+/// Billing-month length used for daily proration.
+/// xtask-unit: day/month
+pub const DAYS_PER_MONTH: f64 = 30.0;
+
+/// VIOLATION: adds a $/GB·month rate to a GB size.
+pub fn mixed_add(size_gb: f64) -> f64 {
+    RATE_GB_MONTH + size_gb
+}
+
+/// VIOLATION: compares GB against $/GB·month.
+pub fn mixed_compare(size_gb: f64) -> bool {
+    size_gb > RATE_GB_MONTH
+}
+
+/// VIOLATION: the month→day conversion is missing, so a $/month value
+/// flows into the Money constructor.
+pub fn month_day_slip(size_gb: f64) -> Money {
+    Money::from_dollars(RATE_GB_MONTH * size_gb)
+}
+
+/// Clean: the correct daily proration derives $/day, which the Money
+/// sink accepts as the one-day charging quantum.
+pub fn storage_day(size_gb: f64) -> Money {
+    Money::from_dollars(RATE_GB_MONTH / DAYS_PER_MONTH * size_gb)
+}
+
+/// Helper with a declared return dimension.
+/// xtask-unit(return): $/month
+fn monthly_rate(size_gb: f64) -> f64 {
+    RATE_GB_MONTH * size_gb
+}
+
+/// VIOLATION: the declared $/month return flows into the sink.
+pub fn bill_via_declared(size_gb: f64) -> Money {
+    Money::from_dollars(monthly_rate(size_gb))
+}
+
+/// Helper whose $/month return dimension is derived from its body by the
+/// interprocedural fixpoint (no declaration).
+fn derived_rate(size_gb: f64) -> f64 {
+    RATE_GB_MONTH * size_gb
+}
+
+/// VIOLATION: the fixpoint-derived $/month return flows into the sink.
+pub fn bill_via_derived(size_gb: f64) -> Money {
+    Money::from_dollars(derived_rate(size_gb))
+}
+
+/// Clean: bare literals are polymorphic and log-scaling is dimensionless,
+/// so smoothing a count never trips the checker.
+pub fn smoothed(reads: f64) -> f64 {
+    (reads + 1.0).ln() / 10.0
+}
+
+/// Waived: the deliberate mismatch is justified at the site.
+pub fn waived(size_gb: f64) -> f64 {
+    // xtask-allow(unit-dimensions): fixture demonstrating the site waiver
+    RATE_GB_MONTH + size_gb
+}

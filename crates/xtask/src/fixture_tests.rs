@@ -224,11 +224,19 @@ fn diagnostics_json_matches_documented_schema() {
     }];
     let base = crate::baseline::Baseline::default();
     let applied = base.apply(&violations, "2026-08-05");
+    let ai = crate::AiReport {
+        unit_diags: Vec::new(),
+        alloc_diags: Vec::new(),
+        panic_unused: Vec::new(),
+        alloc_unused: vec!["unused alloc-allowlist entry: core::gone (old)".to_string()],
+        strict: true,
+    };
     let doc = crate::diagnostics_json(
         &PathBuf::from("/repo"),
         42,
         &violations,
         &[],
+        &ai,
         &applied,
         true,
         true,
@@ -247,9 +255,16 @@ fn diagnostics_json_matches_documented_schema() {
     let gates = doc.get("gates").expect("gates");
     assert_eq!(gates.get("lints").and_then(Json::as_bool), Some(false));
     assert_eq!(gates.get("flow").and_then(Json::as_bool), Some(true));
+    assert_eq!(gates.get("units").and_then(Json::as_bool), Some(true));
+    assert_eq!(gates.get("alloc").and_then(Json::as_bool), Some(true));
+    // Strict + one unused alloc-allowlist entry fails the hygiene gate.
+    assert_eq!(gates.get("allowlists").and_then(Json::as_bool), Some(false));
     assert_eq!(gates.get("fmt").and_then(Json::as_bool), Some(true));
+    let allowlists = doc.get("allowlists").expect("allowlists section");
+    assert_eq!(allowlists.get("strict").and_then(Json::as_bool), Some(true));
+    assert_eq!(allowlists.get("alloc_unused").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
     let flow = doc.get("flow").expect("flow section");
-    assert_eq!(flow.get("kinds").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+    assert_eq!(flow.get("kinds").and_then(Json::as_arr).map(<[Json]>::len), Some(5));
     assert_eq!(flow.get("diagnostics").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
     let summary = doc.get("summary").expect("summary");
     assert_eq!(summary.get("fresh").and_then(Json::as_num), Some(1));

@@ -34,6 +34,10 @@ pub enum FlowKind {
     PanicReachability,
     /// F3: lock acquisition orderings form a cycle.
     LockOrder,
+    /// F4: a derived billing dimension violates the unit discipline.
+    UnitDimensions,
+    /// F5: a heap allocation is reachable from a per-day inner-loop root.
+    HotAlloc,
 }
 
 impl FlowKind {
@@ -43,20 +47,37 @@ impl FlowKind {
             FlowKind::DeterminismTaint => "determinism-taint",
             FlowKind::PanicReachability => "panic-reachability",
             FlowKind::LockOrder => "lock-order",
+            FlowKind::UnitDimensions => "unit-dimensions",
+            FlowKind::HotAlloc => "hot-alloc",
         }
     }
 
-    /// Short code for human output (`F1`..`F3`).
+    /// Short code for human output (`F1`..`F5`).
     pub fn code(self) -> &'static str {
         match self {
             FlowKind::DeterminismTaint => "F1",
             FlowKind::PanicReachability => "F2",
             FlowKind::LockOrder => "F3",
+            FlowKind::UnitDimensions => "F4",
+            FlowKind::HotAlloc => "F5",
         }
     }
 
     /// All kinds, in code order.
-    pub fn all() -> [FlowKind; 3] {
+    pub fn all() -> [FlowKind; 5] {
+        [
+            FlowKind::DeterminismTaint,
+            FlowKind::PanicReachability,
+            FlowKind::LockOrder,
+            FlowKind::UnitDimensions,
+            FlowKind::HotAlloc,
+        ]
+    }
+
+    /// The call-graph flow analyses `cargo xtask flow` runs (F1–F3); the
+    /// abstract-interpretation kinds F4/F5 have their own `units`/`alloc`
+    /// subcommands and run as `cargo xtask check` step 3.
+    pub fn flow_kinds() -> [FlowKind; 3] {
         [FlowKind::DeterminismTaint, FlowKind::PanicReachability, FlowKind::LockOrder]
     }
 }

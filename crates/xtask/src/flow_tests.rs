@@ -8,13 +8,13 @@ use crate::reach::{self, PanicAllowlist};
 use crate::{graph, lockorder, taint};
 use std::path::PathBuf;
 
-fn fixture_src(name: &str) -> String {
+pub(crate) fn fixture_src(name: &str) -> String {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"))
 }
 
 /// Loads one fixture as a single-file workspace under crate `core`.
-fn fixture_ws(name: &str) -> (Workspace, FnGraph) {
+pub(crate) fn fixture_ws(name: &str) -> (Workspace, FnGraph) {
     let src = fixture_src(name);
     let ws = Workspace::from_sources(&[("core", "crates/core/src/fixture.rs", &src)]);
     let g = FnGraph::build(&ws);
@@ -157,18 +157,22 @@ fn call_graph_snapshot_covers_policy_dispatch() {
 
     // Every Policy impl's decide family resolves to nodes, and the trait
     // itself lives in core.
-    for key in ["core::Policy::decide_one", "core::Policy::decide_batch"] {
+    for key in [
+        "core::Policy::decide_one",
+        "core::Policy::decide_batch",
+        "core::Policy::decide_batch_into",
+    ] {
         assert!(g.by_key(key).is_some(), "missing {key}");
     }
-    let decide_batch = g.named("decide_batch");
-    assert!(decide_batch.len() >= 4, "expected several decide_batch defs: {decide_batch:?}");
-    let crates: Vec<&str> = decide_batch.iter().map(|&ix| g.nodes[ix].krate.as_str()).collect();
+    let decide_into = g.named("decide_batch_into");
+    assert!(decide_into.len() >= 4, "expected several decide_batch_into defs: {decide_into:?}");
+    let crates: Vec<&str> = decide_into.iter().map(|&ix| g.nodes[ix].krate.as_str()).collect();
     assert!(crates.contains(&"core"), "{crates:?}");
 
-    // The batch engine's decision loop links to EVERY decide_batch impl —
-    // the conservative union that models `dyn Policy` dispatch.
+    // The batch engine's decision loop links to EVERY decide_batch_into
+    // impl — the conservative union that models `dyn Policy` dispatch.
     let run_shard = g.by_key("core::run_shard").expect("core::run_shard");
-    for &impl_ix in decide_batch {
+    for &impl_ix in decide_into {
         assert!(
             g.nodes[run_shard].callees.contains(&impl_ix),
             "run_shard must link to {} for dispatch coverage",
@@ -176,11 +180,15 @@ fn call_graph_snapshot_covers_policy_dispatch() {
         );
     }
 
-    // The SymbolGraph view agrees: decide_batch call sites resolve.
+    // The SymbolGraph view agrees: both batch entry points' call sites
+    // resolve (`decide_batch` survives as the owned-buffer wrapper used
+    // by `decide_fleet`).
     let parsed = ws.parsed();
     let sg = graph::SymbolGraph::build(&parsed);
-    let edge = sg.edges.iter().find(|e| e.to_name == "decide_batch" && e.from_crate == "core");
-    assert!(edge.is_some_and(|e| e.to_crate.as_deref() == Some("core")), "{edge:?}");
+    for name in ["decide_batch", "decide_batch_into"] {
+        let edge = sg.edges.iter().find(|e| e.to_name == name && e.from_crate == "core");
+        assert!(edge.is_some_and(|e| e.to_crate.as_deref() == Some("core")), "{name}: {edge:?}");
+    }
 
     // The F2 roots exist; a typo here would silently empty the analysis.
     for key in reach::ROOTS {

@@ -11,22 +11,32 @@
 //! 2. the three interprocedural flow analyses (F1 `determinism-taint`, F2
 //!    `panic-reachability`, F3 `lock-order`; DESIGN.md §12) over the
 //!    workspace call graph, sharing the same baseline,
-//! 3. `cargo fmt --check` over the workspace crates,
-//! 4. `cargo clippy --all-targets -- -D warnings` over the workspace crates.
+//! 3. the two abstract-interpretation analyses (F4 `unit-dimensions`, F5
+//!    `hot-alloc`; DESIGN.md §13) over the same call graph, gated on
+//!    `xtask-alloc-allowlist.json` and the shared baseline,
+//! 4. `cargo fmt --check` over the workspace crates,
+//! 5. `cargo clippy --all-targets -- -D warnings` over the workspace crates.
 //!
 //! `cargo xtask check --json` emits machine-readable diagnostics on stdout
-//! (schema in DESIGN.md §8) with human progress diverted to stderr.
+//! (schema in DESIGN.md §8) with human progress diverted to stderr. With
+//! `--strict`, unused `xtask-panic-allowlist.json` /
+//! `xtask-alloc-allowlist.json` entries are errors instead of warnings
+//! (CI passes `--strict` so the committed allowlists never go stale).
 //!
 //! `cargo xtask lint <path>...` runs only the custom lints over the given
 //! files or directories (used by the fixture self-tests and for spot checks).
 //!
 //! `cargo xtask graph [--json]` prints the workspace symbol/call graph.
 //!
-//! `cargo xtask flow [--json|--dot]` runs only the flow analyses; `--dot`
-//! exports the tainted call subgraph as Graphviz.
+//! `cargo xtask flow [--json|--dot]` runs only the F1–F3 flow analyses;
+//! `--dot` exports the tainted call subgraph as Graphviz.
+//!
+//! `cargo xtask units [--json|--dot]` runs only F4; `--dot` exports the
+//! derived dimension graph. `cargo xtask alloc [--json]` runs only F5.
 //!
 //! Any violation or failed gate exits nonzero with `file:line` diagnostics.
 
+mod alloc;
 mod baseline;
 mod flow;
 mod graph;
@@ -38,12 +48,17 @@ mod parser;
 mod reach;
 mod syntax_lints;
 mod taint;
+mod units;
 mod walk;
 
+#[cfg(test)]
+mod alloc_tests;
 #[cfg(test)]
 mod fixture_tests;
 #[cfg(test)]
 mod flow_tests;
+#[cfg(test)]
+mod units_tests;
 
 use json::Json;
 use lints::{scan_source, FileContext, Lint, Violation};
@@ -71,9 +86,11 @@ fn main() -> ExitCode {
     };
     let json_mode = rest.iter().any(|a| a == "--json");
     match cmd {
-        "check" => cmd_check(json_mode),
+        "check" => cmd_check(json_mode, rest.iter().any(|a| a == "--strict")),
         "graph" => cmd_graph(json_mode),
         "flow" => cmd_flow(rest),
+        "units" => cmd_units(rest),
+        "alloc" => cmd_alloc(rest),
         "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -91,12 +108,18 @@ fn print_usage() {
     eprintln!(
         "usage: cargo xtask <command>\n\n\
          commands:\n  \
-         check [--json]     run the ten custom lints + flow analyses\n                     \
-         (baseline-filtered) + `cargo fmt --check` + clippy\n                     \
-         gate; --json emits the diagnostics document\n                     \
-         (DESIGN.md \u{a7}8) on stdout\n  \
+         check [--json] [--strict]\n                     \
+         run the ten custom lints + F1-F3 flow analyses +\n                     \
+         F4/F5 abstract interpretation (baseline-filtered) +\n                     \
+         `cargo fmt --check` + clippy gate; --json emits the\n                     \
+         diagnostics document (DESIGN.md \u{a7}8) on stdout;\n                     \
+         --strict makes unused allowlist entries errors\n  \
          flow [--json|--dot] run only the F1-F3 flow analyses (DESIGN.md\n                     \
          \u{a7}12); --dot exports the tainted call subgraph\n  \
+         units [--json|--dot]\n                     \
+         run only the F4 unit-dimensions analysis (DESIGN.md\n                     \
+         \u{a7}13); --dot exports the derived dimension graph\n  \
+         alloc [--json]     run only the F5 hot-path allocation analysis\n  \
          graph [--json]     print the workspace symbol/call graph\n  \
          lint <path>...     run only the custom lints over the given paths\n  \
          help               show this message"
@@ -167,7 +190,7 @@ macro_rules! progress {
 }
 
 #[allow(clippy::too_many_lines)]
-fn cmd_check(json_mode: bool) -> ExitCode {
+fn cmd_check(json_mode: bool, strict: bool) -> ExitCode {
     let root = walk::repo_root();
     let mut failed = false;
 
@@ -200,34 +223,87 @@ fn cmd_check(json_mode: bool) -> ExitCode {
         json_mode,
         "==> flow analyses (F1 determinism-taint, F2 panic-reachability, F3 lock-order)"
     );
-    let (flow_diags, flow_warnings) = match run_flow(&root) {
-        Ok(x) => x,
+    let ws = match flow::Workspace::load_flow(&root) {
+        Ok(w) => w,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    for w in &flow_warnings {
-        eprintln!("warning: {w}");
+    let g = flow::FnGraph::build(&ws);
+    let panic_allow = match reach::PanicAllowlist::load(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (flow_diags, flow_warnings) = flow::analyze(&ws, &g, &panic_allow);
+
+    // 3. Abstract interpretation over the same call graph.
+    progress!(json_mode, "==> abstract interpretation (F4 unit-dimensions, F5 hot-alloc)");
+    let (unit_diags, unit_warnings) = units::analyze(&ws, &g);
+    let alloc_allow = match alloc::AllocAllowlist::load(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let alloc_roots = alloc::roots(&g);
+    let (alloc_diags, alloc_warnings) = alloc::analyze(&ws, &g, &alloc_roots, &alloc_allow);
+
+    // Unused allowlist entries are hygiene warnings, promoted to errors
+    // under `--strict` so CI keeps the committed allowlists tight.
+    let mut unused_allow = 0usize;
+    for w in flow_warnings.iter().chain(&unit_warnings).chain(&alloc_warnings) {
+        let stale = w.starts_with("unused panic-allowlist entry")
+            || w.starts_with("unused alloc-allowlist entry");
+        if strict && stale {
+            eprintln!("error: {w}");
+            unused_allow += 1;
+        } else {
+            eprintln!("warning: {w}");
+        }
+    }
+    if unused_allow > 0 {
+        eprintln!("==> allowlist hygiene FAILED (--strict): {unused_allow} unused entr(ies)");
+        failed = true;
     }
 
-    // One combined baseline application keeps `unused` accurate across both
-    // diagnostic families: lints first, flow diagnostics after.
+    // One combined baseline application keeps `unused` accurate across all
+    // diagnostic families: lints first, then F1-F3, then F4, then F5.
     let today = baseline::today_utc();
     let mut items: Vec<(String, String)> =
         violations.iter().map(|v| (v.lint.name().to_string(), v.file.clone())).collect();
     items.extend(flow_diags.iter().map(|d| (d.kind.name().to_string(), d.file.clone())));
+    items.extend(unit_diags.iter().map(|d| (d.kind.name().to_string(), d.file.clone())));
+    items.extend(alloc_diags.iter().map(|d| (d.kind.name().to_string(), d.file.clone())));
     let applied = base.apply_named(&items, &today);
-    let (lint_matched, flow_matched) = applied.matched.split_at(violations.len());
+    let (lint_matched, rest_matched) = applied.matched.split_at(violations.len());
+    let (flow_matched, rest_matched) = rest_matched.split_at(flow_diags.len());
+    let (unit_matched, alloc_matched) = rest_matched.split_at(unit_diags.len());
     let fresh: Vec<&Violation> =
         violations.iter().zip(lint_matched).filter(|(_, m)| m.is_none()).map(|(v, _)| v).collect();
     let fresh_flow: Vec<&flow::FlowDiag> =
         flow_diags.iter().zip(flow_matched).filter(|(_, m)| m.is_none()).map(|(d, _)| d).collect();
-    let baselined = violations.len() - fresh.len() + flow_diags.len() - fresh_flow.len();
+    let fresh_units: Vec<&flow::FlowDiag> =
+        unit_diags.iter().zip(unit_matched).filter(|(_, m)| m.is_none()).map(|(d, _)| d).collect();
+    let fresh_alloc: Vec<&flow::FlowDiag> = alloc_diags
+        .iter()
+        .zip(alloc_matched)
+        .filter(|(_, m)| m.is_none())
+        .map(|(d, _)| d)
+        .collect();
+    let baselined = violations.len() - fresh.len() + flow_diags.len() - fresh_flow.len()
+        + unit_diags.len()
+        - fresh_units.len()
+        + alloc_diags.len()
+        - fresh_alloc.len();
     for v in &fresh {
         eprintln!("{v}");
     }
-    for d in &fresh_flow {
+    for d in fresh_flow.iter().chain(&fresh_units).chain(&fresh_alloc) {
         eprintln!("{d}");
     }
     for e in &applied.expired {
@@ -266,8 +342,26 @@ fn cmd_check(json_mode: bool) -> ExitCode {
         eprintln!("==> flow analyses FAILED: {} fresh diagnostic(s)", fresh_flow.len());
         failed = true;
     }
+    let units_ok = fresh_units.is_empty();
+    if units_ok {
+        progress!(json_mode, "==> unit-dimensions passed ({} diagnostic(s) baselined)", {
+            unit_diags.len() - fresh_units.len()
+        });
+    } else {
+        eprintln!("==> unit-dimensions FAILED: {} fresh diagnostic(s)", fresh_units.len());
+        failed = true;
+    }
+    let alloc_ok = fresh_alloc.is_empty();
+    if alloc_ok {
+        progress!(json_mode, "==> hot-alloc passed ({} diagnostic(s) baselined)", {
+            alloc_diags.len() - fresh_alloc.len()
+        });
+    } else {
+        eprintln!("==> hot-alloc FAILED: {} fresh diagnostic(s)", fresh_alloc.len());
+        failed = true;
+    }
 
-    // 3. rustfmt gate.
+    // 4. rustfmt gate.
     progress!(json_mode, "==> cargo fmt --check");
     let fmt_ok = run_cargo(&root, &fmt_args(), json_mode);
     if !fmt_ok {
@@ -275,7 +369,7 @@ fn cmd_check(json_mode: bool) -> ExitCode {
         failed = true;
     }
 
-    // 4. clippy gate, deny warnings.
+    // 5. clippy gate, deny warnings.
     progress!(json_mode, "==> cargo clippy --all-targets -- -D warnings");
     let clippy_ok = run_cargo(&root, &clippy_args(), json_mode);
     if !clippy_ok {
@@ -284,11 +378,27 @@ fn cmd_check(json_mode: bool) -> ExitCode {
     }
 
     if json_mode {
+        let ai = AiReport {
+            unit_diags,
+            alloc_diags,
+            panic_unused: flow_warnings
+                .iter()
+                .filter(|w| w.starts_with("unused panic-allowlist entry"))
+                .cloned()
+                .collect(),
+            alloc_unused: alloc_warnings
+                .iter()
+                .filter(|w| w.starts_with("unused alloc-allowlist entry"))
+                .cloned()
+                .collect(),
+            strict,
+        };
         let doc = diagnostics_json(
             &root,
             files.len(),
             &violations,
             &flow_diags,
+            &ai,
             &applied,
             fmt_ok,
             clippy_ok,
@@ -305,6 +415,21 @@ fn cmd_check(json_mode: bool) -> ExitCode {
     }
 }
 
+/// Step-3 abstract-interpretation results (F4/F5) plus allowlist hygiene,
+/// threaded into the `--json` diagnostics document.
+struct AiReport {
+    /// F4 unit-dimensions diagnostics.
+    unit_diags: Vec<flow::FlowDiag>,
+    /// F5 hot-alloc diagnostics.
+    alloc_diags: Vec<flow::FlowDiag>,
+    /// Unused `xtask-panic-allowlist.json` entry warnings.
+    panic_unused: Vec<String>,
+    /// Unused `xtask-alloc-allowlist.json` entry warnings.
+    alloc_unused: Vec<String>,
+    /// Whether `--strict` promoted those warnings to errors.
+    strict: bool,
+}
+
 /// Assembles the `cargo xtask check --json` document (schema: DESIGN.md §8).
 #[allow(clippy::too_many_arguments)]
 fn diagnostics_json(
@@ -312,6 +437,7 @@ fn diagnostics_json(
     file_count: usize,
     violations: &[Violation],
     flow_diags: &[flow::FlowDiag],
+    ai: &AiReport,
     applied: &baseline::Applied,
     fmt_ok: bool,
     clippy_ok: bool,
@@ -329,9 +455,16 @@ fn diagnostics_json(
             ("expires", Json::Str(e.expires.clone())),
         ])
     };
-    let (lint_matched, flow_matched) = applied.matched.split_at(violations.len());
+    let (lint_matched, rest_matched) = applied.matched.split_at(violations.len());
+    let (flow_matched, rest_matched) = rest_matched.split_at(flow_diags.len());
+    let (unit_matched, alloc_matched) = rest_matched.split_at(ai.unit_diags.len());
     let fresh = lint_matched.iter().filter(|m| m.is_none()).count();
     let flow_fresh = flow_matched.iter().filter(|m| m.is_none()).count();
+    let unit_fresh = unit_matched.iter().filter(|m| m.is_none()).count();
+    let alloc_fresh = alloc_matched.iter().filter(|m| m.is_none()).count();
+    // The `flow` object carries every graph-analysis diagnostic (F1-F5).
+    let graph_total = flow_diags.len() + ai.unit_diags.len() + ai.alloc_diags.len();
+    let graph_fresh = flow_fresh + unit_fresh + alloc_fresh;
     Json::obj([
         ("version", Json::Num(1)),
         ("lints", Json::Arr(Lint::all().iter().map(|l| Json::Str(l.name().to_string())).collect())),
@@ -371,9 +504,25 @@ fn diagnostics_json(
                         flow_diags
                             .iter()
                             .zip(flow_matched)
+                            .chain(ai.unit_diags.iter().zip(unit_matched))
+                            .chain(ai.alloc_diags.iter().zip(alloc_matched))
                             .map(|(d, m)| flow_diag_json(d, m.is_some()))
                             .collect(),
                     ),
+                ),
+            ]),
+        ),
+        (
+            "allowlists",
+            Json::obj([
+                ("strict", Json::Bool(ai.strict)),
+                (
+                    "panic_unused",
+                    Json::Arr(ai.panic_unused.iter().map(|w| Json::Str(w.clone())).collect()),
+                ),
+                (
+                    "alloc_unused",
+                    Json::Arr(ai.alloc_unused.iter().map(|w| Json::Str(w.clone())).collect()),
                 ),
             ]),
         ),
@@ -390,6 +539,14 @@ fn diagnostics_json(
             Json::obj([
                 ("lints", Json::Bool(fresh == 0 && applied.expired.is_empty())),
                 ("flow", Json::Bool(flow_fresh == 0)),
+                ("units", Json::Bool(unit_fresh == 0)),
+                ("alloc", Json::Bool(alloc_fresh == 0)),
+                (
+                    "allowlists",
+                    Json::Bool(
+                        !ai.strict || (ai.panic_unused.is_empty() && ai.alloc_unused.is_empty()),
+                    ),
+                ),
                 ("fmt", Json::Bool(fmt_ok)),
                 ("clippy", Json::Bool(clippy_ok)),
             ]),
@@ -404,8 +561,8 @@ fn diagnostics_json(
                     "baselined",
                     Json::Num(i64::try_from(violations.len() - fresh).unwrap_or(i64::MAX)),
                 ),
-                ("flow_total", Json::Num(i64::try_from(flow_diags.len()).unwrap_or(i64::MAX))),
-                ("flow_fresh", Json::Num(i64::try_from(flow_fresh).unwrap_or(i64::MAX))),
+                ("flow_total", Json::Num(i64::try_from(graph_total).unwrap_or(i64::MAX))),
+                ("flow_fresh", Json::Num(i64::try_from(graph_fresh).unwrap_or(i64::MAX))),
                 ("ok", Json::Bool(ok)),
             ]),
         ),
@@ -434,7 +591,7 @@ fn run_flow(root: &Path) -> Result<(Vec<flow::FlowDiag>, Vec<String>), String> {
     Ok(flow::analyze(&ws, &g, &allow))
 }
 
-/// `cargo xtask flow [--json|--dot]`: the flow analyses standalone.
+/// `cargo xtask flow [--json|--dot]`: the F1-F3 flow analyses standalone.
 fn cmd_flow(args: &[String]) -> ExitCode {
     let json_mode = args.iter().any(|a| a == "--json");
     let root = walk::repo_root();
@@ -458,6 +615,65 @@ fn cmd_flow(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    kind_report("flow", &flow::FlowKind::flow_kinds(), diags, warnings, json_mode)
+}
+
+/// `cargo xtask units [--json|--dot]`: the F4 analysis standalone.
+fn cmd_units(args: &[String]) -> ExitCode {
+    let json_mode = args.iter().any(|a| a == "--json");
+    let root = walk::repo_root();
+    let ws = match flow::Workspace::load_flow(&root) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let g = flow::FnGraph::build(&ws);
+    if args.iter().any(|a| a == "--dot") {
+        let (u, _, _) = units::compute(&ws, &g);
+        print!("{}", units::dot(&ws, &g, &u));
+        return ExitCode::SUCCESS;
+    }
+    let (diags, warnings) = units::analyze(&ws, &g);
+    kind_report("units", &[flow::FlowKind::UnitDimensions], diags, warnings, json_mode)
+}
+
+/// `cargo xtask alloc [--json]`: the F5 analysis standalone.
+fn cmd_alloc(args: &[String]) -> ExitCode {
+    let json_mode = args.iter().any(|a| a == "--json");
+    let root = walk::repo_root();
+    let ws = match flow::Workspace::load_flow(&root) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let g = flow::FnGraph::build(&ws);
+    let allow = match alloc::AllocAllowlist::load(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let roots = alloc::roots(&g);
+    let (diags, warnings) = alloc::analyze(&ws, &g, &roots, &allow);
+    kind_report("alloc", &[flow::FlowKind::HotAlloc], diags, warnings, json_mode)
+}
+
+/// Shared tail of the standalone analysis subcommands: applies the
+/// baseline (scoped to the given kinds), prints diagnostics, and emits
+/// the `--json` document `{version, kinds, diagnostics, warnings, summary}`.
+fn kind_report(
+    label: &str,
+    kinds: &[flow::FlowKind],
+    diags: Vec<flow::FlowDiag>,
+    warnings: Vec<String>,
+    json_mode: bool,
+) -> ExitCode {
+    let root = walk::repo_root();
     let base = match baseline::Baseline::load(&root) {
         Ok(b) => b,
         Err(e) => {
@@ -469,11 +685,12 @@ fn cmd_flow(args: &[String]) -> ExitCode {
     let items: Vec<(String, String)> =
         diags.iter().map(|d| (d.kind.name().to_string(), d.file.clone())).collect();
     let mut applied = base.apply_named(&items, &today);
-    // Standalone runs only see flow diagnostics, so only flow-kind baseline
-    // entries can be judged expired/unused here; lint entries are check's.
-    let flow_names: Vec<&str> = flow::FlowKind::all().iter().map(|k| k.name()).collect();
-    applied.expired.retain(|e| flow_names.contains(&e.lint.as_str()));
-    applied.unused.retain(|e| flow_names.contains(&e.lint.as_str()));
+    // Standalone runs only see this family's diagnostics, so only its
+    // baseline entries can be judged expired/unused here; the rest are
+    // `check`'s to judge.
+    let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+    applied.expired.retain(|e| names.contains(&e.lint.as_str()));
+    applied.unused.retain(|e| names.contains(&e.lint.as_str()));
     let fresh: Vec<&flow::FlowDiag> =
         diags.iter().zip(&applied.matched).filter(|(_, m)| m.is_none()).map(|(d, _)| d).collect();
     for w in &warnings {
@@ -502,12 +719,7 @@ fn cmd_flow(args: &[String]) -> ExitCode {
     if json_mode {
         let doc = Json::obj([
             ("version", Json::Num(1)),
-            (
-                "kinds",
-                Json::Arr(
-                    flow::FlowKind::all().iter().map(|k| Json::Str(k.name().to_string())).collect(),
-                ),
-            ),
+            ("kinds", Json::Arr(kinds.iter().map(|k| Json::Str(k.name().to_string())).collect())),
             (
                 "diagnostics",
                 Json::Arr(
@@ -531,11 +743,11 @@ fn cmd_flow(args: &[String]) -> ExitCode {
         print!("{}", doc.render());
     }
     if ok {
-        progress!(json_mode, "xtask flow: clean ({} baselined)", diags.len() - fresh.len());
+        progress!(json_mode, "xtask {label}: clean ({} baselined)", diags.len() - fresh.len());
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "xtask flow: FAILED ({} fresh diagnostic(s), {} expired entr(ies))",
+            "xtask {label}: FAILED ({} fresh diagnostic(s), {} expired entr(ies))",
             fresh.len(),
             applied.expired.len()
         );

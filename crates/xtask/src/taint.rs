@@ -21,7 +21,7 @@ use crate::lints::{scan_source, FileContext, Lint};
 use std::path::Path;
 
 /// Sink function names: every impl of the `Policy` decision family.
-const SINK_FNS: &[&str] = &["decide_one", "decide_batch", "decide_fleet"];
+const SINK_FNS: &[&str] = &["decide_one", "decide_batch", "decide_batch_into", "decide_fleet"];
 
 /// Sink containers: any method of these types is a sink (billing
 /// arithmetic, snapshot serialization, fault-plan fire decisions).

@@ -58,6 +58,32 @@ fn every_policy_is_bit_identical_across_worker_counts() {
 }
 
 #[test]
+fn reused_decision_buffers_never_leak_stale_tiers() {
+    // The engine hoists one decision buffer outside the day loop and
+    // refills it via `decide_batch_into`; with `decide_every > 1` the
+    // buffer carries a previous decision day's contents into the next
+    // refill. Ledgers must stay bit-identical across worker counts (and
+    // against the owned-buffer wrapper semantics) regardless.
+    let (trace, model) = setup();
+    for policy in &mut all_policies(&trace, &model) {
+        let cadenced = |workers: usize| {
+            SimConfig::builder()
+                .seed(13)
+                .workers(workers)
+                .decide_every(3)
+                .build()
+                .expect("valid sim config")
+        };
+        let base = simulate(&trace, &model, policy.as_mut(), &cadenced(1));
+        for workers in [4usize, 7] {
+            let sharded = simulate(&trace, &model, policy.as_mut(), &cadenced(workers));
+            let what = format!("{} decide_every=3 workers={workers}", base.policy_name);
+            assert_bit_identical(&base, &sharded, &what);
+        }
+    }
+}
+
+#[test]
 fn shard_seed_changes_partition_but_never_the_ledgers() {
     let (trace, model) = setup();
     let base = simulate(&trace, &model, &mut GreedyPolicy, &config(1));
