@@ -12,6 +12,7 @@ use std::hint::black_box;
 fn bench_per_file_decision(c: &mut Criterion) {
     let trace =
         Trace::generate(&TraceConfig { files: 64, days: 21, seed: 9, ..TraceConfig::default() });
+    let fleet = FleetState::from_trace(&trace);
     let model = CostModel::new(PricingPolicy::paper_2020());
     let features = FeatureConfig::default();
 
@@ -34,7 +35,7 @@ fn bench_per_file_decision(c: &mut Criterion) {
         let current = [Tier::Cool];
         let ctx = DecisionContext {
             day: 14,
-            trace: &trace,
+            fleet: &fleet,
             model: &model,
             batch: &batch,
             current: &current,

@@ -74,6 +74,8 @@ pub fn run(params: &Params) -> Report {
         "forecast-then-optimize vs RL: total and per-bucket cost ($)",
         &["bucket", "predictive-arima", "predictive-seasonal", "minicost", "optimal"],
     );
+    report.config =
+        Some(ConfigBlock::new(params.files, params.days, params.seed, minicost::default_workers()));
     let per_policy: Vec<[Money; 5]> =
         runs.iter().map(|r| bucket_costs(test, &r.per_file)).collect();
     for (bucket, label) in CV_BUCKET_LABELS.iter().enumerate() {

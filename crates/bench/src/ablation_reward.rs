@@ -74,6 +74,8 @@ pub fn run(params: &Params) -> Report {
         "deployed 35-day cost by reward design (same budget, same seed)",
         &["variant", "cost", "vs_optimal", "final_opt_rate"],
     );
+    report.config =
+        Some(ConfigBlock::new(params.files, params.days, params.seed, minicost::default_workers()));
     report.push_row(vec!["baseline: hot".into(), format!("{hot}"), ratio(hot, opt), "-".into()]);
     report.push_row(vec![
         "baseline: greedy".into(),

@@ -103,6 +103,8 @@ pub fn run(params: &Params) -> Report {
         "A3C vs DQN on the tiering MDP (same topology, reward, budget)",
         &["trainer", "cost", "vs_optimal", "final_opt_rate"],
     );
+    report.config =
+        Some(ConfigBlock::new(params.files, params.days, params.seed, minicost::default_workers()));
     let opt_cost = opt.total_cost();
     let mut row = |name: &str, cost: Money, rate: Option<f64>| {
         report.push_row(vec![

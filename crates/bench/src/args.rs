@@ -2,9 +2,13 @@
 //!
 //! Every figure binary accepts `--files N --days D --seed S --updates U
 //! --runs R` with figure-appropriate defaults, so the paper-scale runs and
-//! CI-scale smoke runs use the same code path.
+//! CI-scale smoke runs use the same code path. The shared `--workers`,
+//! `--seed`, and `--out` flags are parsed here once, so every binary —
+//! including `minicost bench` — resolves them identically and the JSON
+//! artifacts carry the same `config` block (DESIGN.md §14).
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 /// Parsed command-line arguments (`--key value` pairs).
 #[derive(Clone, Debug, Default)]
@@ -62,6 +66,22 @@ impl Args {
         self.usize("workers", minicost::default_workers()).max(1)
     }
 
+    /// The `--seed` flag shared by the experiment binaries, with the
+    /// caller's figure-appropriate default.
+    #[must_use]
+    pub fn seed(&self, default: u64) -> u64 {
+        self.u64("seed", default)
+    }
+
+    /// The `--out` flag: where a binary writes its artifacts. Figure
+    /// binaries treat it as the output *directory* (default `results/`);
+    /// `minicost bench` treats its own `--out` as the artifact path — both
+    /// resolve through the same parser so the flags behave alike.
+    #[must_use]
+    pub fn out(&self, default: &str) -> PathBuf {
+        PathBuf::from(self.values.get("out").map_or(default, String::as_str))
+    }
+
     fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Option<T>
     where
         T::Err: std::fmt::Debug,
@@ -97,6 +117,16 @@ mod tests {
         assert_eq!(args(&["--workers", "4"]).workers(), 4);
         assert_eq!(args(&["--workers", "0"]).workers(), 1);
         assert!(args(&[]).workers() >= 1);
+    }
+
+    #[test]
+    fn seed_and_out_share_the_common_parser() {
+        let a = args(&["--seed", "7", "--out", "artifacts"]);
+        assert_eq!(a.seed(2020), 7);
+        assert_eq!(a.out("results"), std::path::Path::new("artifacts"));
+        let d = args(&[]);
+        assert_eq!(d.seed(2020), 2020);
+        assert_eq!(d.out("results"), std::path::Path::new("results"));
     }
 
     #[test]

@@ -3,5 +3,5 @@
 fn main() {
     let args = bench_support::Args::parse();
     let params = bench_support::ablation_prediction::Params::from_args(&args);
-    bench_support::ablation_prediction::run(&params).emit();
+    bench_support::ablation_prediction::run(&params).emit_into(&args.out("results"));
 }

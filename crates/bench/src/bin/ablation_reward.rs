@@ -3,5 +3,5 @@
 fn main() {
     let args = bench_support::Args::parse();
     let params = bench_support::ablation_reward::Params::from_args(&args);
-    bench_support::ablation_reward::run(&params).emit();
+    bench_support::ablation_reward::run(&params).emit_into(&args.out("results"));
 }

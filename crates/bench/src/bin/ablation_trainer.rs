@@ -3,5 +3,5 @@
 fn main() {
     let args = bench_support::Args::parse();
     let params = bench_support::ablation_trainer::Params::from_args(&args);
-    bench_support::ablation_trainer::run(&params).emit();
+    bench_support::ablation_trainer::run(&params).emit_into(&args.out("results"));
 }

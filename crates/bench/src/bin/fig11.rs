@@ -3,5 +3,5 @@
 fn main() {
     let args = bench_support::Args::parse();
     let params = bench_support::fig11_width::Params::from_args(&args);
-    bench_support::fig11_width::run(&params).emit();
+    bench_support::fig11_width::run(&params).emit_into(&args.out("results"));
 }

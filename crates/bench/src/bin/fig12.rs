@@ -3,5 +3,5 @@
 fn main() {
     let args = bench_support::Args::parse();
     let params = bench_support::fig12_overhead::Params::from_args(&args);
-    bench_support::fig12_overhead::run(&params).emit();
+    bench_support::fig12_overhead::run(&params).emit_into(&args.out("results"));
 }

@@ -3,5 +3,5 @@
 fn main() {
     let args = bench_support::Args::parse();
     let params = bench_support::fig13_aggregation::Params::from_args(&args);
-    bench_support::fig13_aggregation::run(&params).emit();
+    bench_support::fig13_aggregation::run(&params).emit_into(&args.out("results"));
 }

@@ -3,5 +3,5 @@
 fn main() {
     let args = bench_support::Args::parse();
     let params = bench_support::fig2_histogram::Params::from_args(&args);
-    bench_support::fig2_histogram::run(&params).emit();
+    bench_support::fig2_histogram::run(&params).emit_into(&args.out("results"));
 }

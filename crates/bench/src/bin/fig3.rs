@@ -3,5 +3,5 @@
 fn main() {
     let args = bench_support::Args::parse();
     let params = bench_support::fig3_savings::Params::from_args(&args);
-    bench_support::fig3_savings::run(&params).emit();
+    bench_support::fig3_savings::run(&params).emit_into(&args.out("results"));
 }

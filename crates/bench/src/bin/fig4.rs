@@ -3,5 +3,5 @@
 fn main() {
     let args = bench_support::Args::parse();
     let params = bench_support::fig4_prediction::Params::from_args(&args);
-    bench_support::fig4_prediction::run(&params).emit();
+    bench_support::fig4_prediction::run(&params).emit_into(&args.out("results"));
 }

@@ -3,5 +3,5 @@
 fn main() {
     let args = bench_support::Args::parse();
     let params = bench_support::fig7_total_cost::Params::from_args(&args);
-    bench_support::fig7_total_cost::run(&params).emit();
+    bench_support::fig7_total_cost::run(&params).emit_into(&args.out("results"));
 }

@@ -70,6 +70,7 @@ pub fn run(params: &Params) -> Report {
         "optimal action rate vs training steps for different greedy rates",
         &header_refs,
     );
+    report.config = Some(ConfigBlock::new(params.files, params.days, params.seed, 1));
 
     // Sample each curve at `points` evenly spaced update counts.
     for p in 1..=params.points {

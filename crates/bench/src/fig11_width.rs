@@ -65,6 +65,7 @@ pub fn run(params: &Params) -> Report {
         "final optimal-action rate (mean +- sd over runs) vs filters/neurons",
         &["width", "mean_rate", "sd", "min", "max", "runs"],
     );
+    report.config = Some(ConfigBlock::new(params.files, params.days, params.seed, 1));
 
     for &width in &params.widths {
         let rates: Vec<f64> = (0..params.runs)

@@ -74,6 +74,7 @@ pub fn run(params: &Params) -> Report {
         "per-day decision overhead (ms) over the horizon",
         &["policy", "mean_ms_per_day", "max_ms_per_day", "us_per_file", "total_ms", "par_speedup"],
     );
+    report.config = Some(ConfigBlock::new(params.files, params.days, params.seed, params.workers));
     for run in &runs {
         let mean =
             run.decision_millis.iter().sum::<f64>() / run.decision_millis.len().max(1) as f64;

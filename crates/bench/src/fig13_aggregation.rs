@@ -145,6 +145,7 @@ pub fn run(params: &Params) -> Report {
         "cumulative cost ($) with and without data-file aggregation",
         &["days", "greedy", "minicost", "minicost_w_E", "optimal"],
     );
+    report.config = Some(ConfigBlock::new(params.files, params.days, params.seed, params.workers));
     for week in 0..weeks {
         report.push_row(vec![
             ((week + 1) * 7).to_string(),

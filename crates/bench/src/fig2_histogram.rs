@@ -45,6 +45,7 @@ pub fn run(params: &Params) -> Report {
         "files per normalized-std bucket vs the paper's Wikipedia analysis",
         &["bucket", "files", "fraction", "paper", "delta"],
     );
+    report.config = Some(ConfigBlock::new(params.files, params.days, params.seed, 1));
     for (i, label) in CV_BUCKET_LABELS.iter().enumerate() {
         report.push_row(vec![
             (*label).to_owned(),

@@ -53,6 +53,7 @@ pub fn run(params: &Params) -> Report {
             "saved_per_file_day",
         ],
     );
+    report.config = Some(ConfigBlock::new(params.files, params.days, params.seed, 1));
 
     for (bucket, files) in members.iter().enumerate() {
         let mut static_total = Money::ZERO;

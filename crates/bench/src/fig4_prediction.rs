@@ -57,6 +57,7 @@ pub fn run(params: &Params) -> Report {
         "relative 7-day prediction error percentiles per bucket (true-pred)/true",
         &["bucket", "model", "p01", "median", "p99", "samples"],
     );
+    report.config = Some(ConfigBlock::new(params.files, params.days, params.seed, 1));
 
     for (bucket, files) in members.iter().enumerate() {
         for forecaster in &forecasters {

@@ -85,6 +85,7 @@ pub fn run(params: &Params) -> Report {
         "cumulative total cost ($) for all test files vs days",
         &["days", "hot", "cold", "greedy", "minicost", "optimal"],
     );
+    report.config = Some(ConfigBlock::new(params.files, params.days, params.seed, params.workers));
     let mut day = 7;
     while day <= params.days {
         let mut row = vec![day.to_string()];

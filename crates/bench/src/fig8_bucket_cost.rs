@@ -20,6 +20,7 @@ pub fn run(params: &Params) -> Report {
         "daily cost ($/day) per variability bucket and policy",
         &["bucket", "files", "hot", "cold", "greedy", "minicost", "optimal"],
     );
+    report.config = Some(ConfigBlock::new(params.files, params.days, params.seed, params.workers));
 
     let members = tracegen::analysis::bucket_members(&test);
     let days = test.days as i64;

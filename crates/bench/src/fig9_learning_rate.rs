@@ -77,6 +77,7 @@ pub fn run(params: &Params) -> Report {
         "training steps to reach the optimal-action-rate threshold vs learning rate",
         &["learning_rate", "steps_to_converge", "converged"],
     );
+    report.config = Some(ConfigBlock::new(params.files, params.days, params.seed, 1));
     for &lr in &params.learning_rates {
         let steps = convergence_at(&trace, &model, params, lr);
         report.push_row(vec![

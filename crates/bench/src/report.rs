@@ -1,9 +1,24 @@
-//! Tabular experiment reports: printed to stdout and persisted as CSV under
-//! `results/`.
+//! Tabular experiment reports: printed to stdout and persisted as CSV (and,
+//! when a run configuration is attached, as a JSON sidecar with the shared
+//! `config` block of DESIGN.md §14) under `results/`.
 
+use minicost::prelude::ConfigBlock;
+use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
+
+/// The on-disk shape of a report's JSON sidecar (DESIGN.md §14): the shared
+/// `config` block first-class, then the table verbatim.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct JsonDoc {
+    name: String,
+    title: String,
+    config: Option<ConfigBlock>,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
 
 /// One experiment's output table plus free-form notes.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -18,6 +33,10 @@ pub struct Report {
     pub rows: Vec<Vec<String>>,
     /// Interpretation notes printed after the table (paper comparison).
     pub notes: Vec<String>,
+    /// The resolved run configuration; when present, [`Report::emit_into`]
+    /// also writes a `<name>.json` sidecar whose `config` block matches the
+    /// one `minicost bench` embeds in `BENCH_hotpath.json`.
+    pub config: Option<ConfigBlock>,
 }
 
 impl Report {
@@ -30,7 +49,15 @@ impl Report {
             header: header.iter().map(|s| (*s).to_owned()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            config: None,
         }
+    }
+
+    /// Attaches the run's resolved configuration (builder style).
+    #[must_use]
+    pub fn with_config(mut self, config: ConfigBlock) -> Report {
+        self.config = Some(config);
+        self
     }
 
     /// Appends a row; panics if the width differs from the header.
@@ -94,13 +121,47 @@ impl Report {
         Ok(path)
     }
 
+    /// Writes the table (and the attached config block) as
+    /// `<dir>/<name>.json`, the schema of DESIGN.md §14.
+    ///
+    /// Returns the written path.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        let doc = JsonDoc {
+            name: self.name.clone(),
+            title: self.title.clone(),
+            config: self.config,
+            header: self.header.clone(),
+            rows: self.rows.clone(),
+            notes: self.notes.clone(),
+        };
+        let body = serde_json::to_string(&doc)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        fs::write(&path, format!("{body}\n"))?;
+        Ok(path)
+    }
+
     /// Prints and persists to the workspace-standard `results/` directory.
     pub fn emit(&self) {
+        self.emit_into(Path::new("results"));
+    }
+
+    /// Prints and persists CSV (plus the JSON sidecar when a config block
+    /// is attached) under `dir` — the `--out` directory of the binaries.
+    pub fn emit_into(&self, dir: &Path) {
         self.print();
-        match self.write_csv(Path::new("results")) {
-            Ok(path) => println!("-- wrote {}\n", path.display()),
-            Err(e) => eprintln!("-- could not write CSV: {e}\n"),
+        match self.write_csv(dir) {
+            Ok(path) => println!("-- wrote {}", path.display()),
+            Err(e) => eprintln!("-- could not write CSV: {e}"),
         }
+        if self.config.is_some() {
+            match self.write_json(dir) {
+                Ok(path) => println!("-- wrote {}", path.display()),
+                Err(e) => eprintln!("-- could not write JSON: {e}"),
+            }
+        }
+        println!();
     }
 }
 
@@ -139,5 +200,19 @@ mod tests {
     fn mismatched_row_panics() {
         let mut r = Report::new("x", "y", &["a", "b"]);
         r.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_sidecar_embeds_the_shared_config_block() {
+        let dir = std::env::temp_dir().join(format!("minicost-json-{}", std::process::id()));
+        let report = sample().with_config(ConfigBlock::new(300, 14, 3, 2));
+        let path = report.write_json(&dir).unwrap();
+        let doc: JsonDoc = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        // The `config` object is the exact ConfigBlock schema every bench
+        // artifact shares (DESIGN.md §14).
+        assert_eq!(doc.config, Some(ConfigBlock::new(300, 14, 3, 2)));
+        assert_eq!(doc.name, "figX");
+        assert_eq!(doc.rows[0][1], "1.25");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,47 @@
+//! The shared JSON `config` block every benchmark artifact embeds.
+//!
+//! `minicost bench` (the hot-path benchmark, `BENCH_hotpath.json`) and the
+//! figure binaries' JSON sidecars (`results/<name>.json`) all lead with the
+//! same four-field `config` object, so artifact consumers — the CI
+//! bench-smoke job, the perf-trajectory tooling of DESIGN.md §14 — parse
+//! one schema regardless of which binary produced the file. The type lives
+//! in the core crate because the `minicost` CLI cannot depend on the
+//! experiment harness (the dependency points the other way).
+
+use serde::{Deserialize, Serialize};
+
+/// The canonical run-configuration block serialized at the top of every
+/// benchmark JSON artifact (DESIGN.md §14).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigBlock {
+    /// Number of files in the generated trace.
+    pub files: usize,
+    /// Trace horizon in days.
+    pub days: usize,
+    /// Generator / simulation seed.
+    pub seed: u64,
+    /// Simulation shard count — the largest one for multi-ladder runs.
+    pub workers: usize,
+}
+
+impl ConfigBlock {
+    /// Builds a config block from the run's resolved parameters.
+    #[must_use]
+    pub fn new(files: usize, days: usize, seed: u64, workers: usize) -> ConfigBlock {
+        ConfigBlock { files, days, seed, workers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_with_stable_field_names() {
+        let block = ConfigBlock::new(100, 35, 2020, 4);
+        let json = serde_json::to_string(&block).unwrap();
+        assert_eq!(json, r#"{"files":100,"days":35,"seed":2020,"workers":4}"#);
+        let back: ConfigBlock = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, block);
+    }
+}

@@ -71,6 +71,7 @@ fn main() -> ExitCode {
         "train" => train(&flags).map_err(CliError::general),
         "evaluate" => evaluate(&flags).map_err(CliError::general),
         "serve" => serve_cmd(&flags),
+        "bench" => bench(&flags).map_err(CliError::general),
         other => Err(CliError::general(format!("unknown command {other:?}"))),
     };
     match result {
@@ -89,6 +90,8 @@ const USAGE: &str = "usage:
                     [--pricing paper|azure|aws] --out agent.json
   minicost evaluate --trace trace.csv --agent agent.json [--pricing ...] \\
                     [--workers W]
+  minicost bench    [--files N] [--days D] [--seed S] [--workers W] [--quick] \\
+                    [--out BENCH_hotpath.json]
   minicost serve    --trace trace.csv [--policy hot|cold|greedy | --agent agent.json] \\
                     [--decide-every N] [--seed S] [--max-tracked K] \\
                     [--checkpoint snap.json] [--checkpoint-every E] \\
@@ -111,12 +114,22 @@ serve exit codes:
 
 type Flags = HashMap<String, String>;
 
+/// Flags that may appear without a value (implied `true`), e.g.
+/// `minicost bench --quick`.
+const BOOLEAN_FLAGS: &[&str] = &["quick"];
+
 fn parse_flags(args: impl Iterator<Item = String>) -> Result<Flags, String> {
     let mut flags = HashMap::new();
     let mut args = args.peekable();
     while let Some(key) = args.next() {
         let name = key.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {key:?}"))?;
-        let value = args.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        let valueless =
+            BOOLEAN_FLAGS.contains(&name) && args.peek().is_none_or(|next| next.starts_with("--"));
+        let value = if valueless {
+            "true".to_owned()
+        } else {
+            args.next().ok_or_else(|| format!("--{name} needs a value"))?
+        };
         flags.insert(name.to_owned(), value);
     }
     Ok(flags)
@@ -345,6 +358,150 @@ fn serve_cmd(flags: &Flags) -> Result<(), CliError> {
         }
         println!("verified: streamed ledgers are bit-identical to batch (workers={workers})");
     }
+    Ok(())
+}
+
+/// One measured hot-path run: a policy simulated end to end at a fixed
+/// shard count, reported as throughput rates plus the process's peak RSS.
+#[derive(serde::Serialize)]
+struct BenchRun {
+    policy: String,
+    workers: usize,
+    seconds: f64,
+    files_per_sec: f64,
+    file_days_per_sec: f64,
+    decisions_per_sec: f64,
+    /// `VmHWM` from `/proc/self/status` (kB). The high-water mark is
+    /// monotone over the process lifetime, so runs execute in ascending
+    /// worker order and each value bounds every earlier run too. `None`
+    /// off Linux.
+    peak_rss_kb: Option<u64>,
+}
+
+/// The `BENCH_hotpath.json` artifact: the shared config block (the same
+/// schema the figure binaries' JSON sidecars embed), then one entry per
+/// (policy, workers) cell of the ladder.
+#[derive(serde::Serialize)]
+struct BenchDoc {
+    name: String,
+    config: ConfigBlock,
+    quick: bool,
+    results: Vec<BenchRun>,
+}
+
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status.lines().find(|l| l.starts_with("VmHWM:"))?.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// `minicost bench`: measure the columnar simulate hot path (DESIGN.md §14)
+/// for Greedy and a randomly-initialized MiniCost network at each worker
+/// count of the ladder (1, 4, and all cores — or just `--workers W`),
+/// emitting `BENCH_hotpath.json`. `--quick` shrinks the trace for CI.
+fn bench(flags: &Flags) -> Result<(), String> {
+    let quick = flag(flags, "quick", false)?;
+    let files = flag(flags, "files", if quick { 2_000usize } else { 20_000 })?;
+    let days = flag(flags, "days", if quick { 14usize } else { 35 })?;
+    let seed = flag(flags, "seed", 2020u64)?;
+    let out = flags.get("out").map_or("BENCH_hotpath.json", String::as_str);
+    let model = pricing(flags)?;
+
+    let cfg = TraceConfig { files, days, seed, ..TraceConfig::default() };
+    cfg.validate()?;
+    let trace = Trace::generate(&cfg);
+
+    // Ascending worker ladder so the monotone VmHWM reading stays
+    // interpretable (each cell's peak covers all smaller ladders).
+    let ladder: Vec<usize> = match flags.get("workers") {
+        Some(v) => vec![v.parse::<usize>().map_err(|e| format!("--workers {v:?}: {e}"))?.max(1)],
+        None => {
+            let cores = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+            let mut ladder = vec![1usize, 4, cores];
+            ladder.sort_unstable();
+            ladder.dedup();
+            ladder
+        }
+    };
+
+    let features = FeatureConfig::default();
+    let spec = rl::NetSpec {
+        window: features.window,
+        channels: FeatureConfig::CHANNELS,
+        extras: minicost::features::EXTRA_FEATURES,
+        filters: 32,
+        kernel: 4,
+        stride: 1,
+        hidden: 32,
+        actions: 3,
+    };
+    let actor = spec.build_actor(seed);
+    let rl_params = actor.param_vector();
+
+    let file_days = (files * days) as f64;
+    let mut results = Vec::new();
+    println!(
+        "bench: {} files x {} days (seed {seed}), workers ladder {:?}",
+        trace.len(),
+        trace.days,
+        ladder
+    );
+    println!(
+        "{:<10} {:>8} {:>9} {:>13} {:>16} {:>15} {:>12}",
+        "policy",
+        "workers",
+        "seconds",
+        "files/sec",
+        "file-days/sec",
+        "decisions/sec",
+        "peak RSS kB"
+    );
+    for &workers in &ladder {
+        let sim_cfg =
+            SimConfig::builder().seed(seed).workers(workers).build().map_err(|e| e.to_string())?;
+        let mut policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(GreedyPolicy),
+            Box::new(RlPolicy::from_params(spec, &rl_params, features)),
+        ];
+        for policy in &mut policies {
+            let start = std::time::Instant::now();
+            let run = simulate(&trace, &model, policy.as_mut(), &sim_cfg);
+            let seconds = start.elapsed().as_secs_f64();
+            let rss = peak_rss_kb();
+            let entry = BenchRun {
+                policy: run.policy_name.clone(),
+                workers,
+                seconds,
+                files_per_sec: files as f64 / seconds,
+                file_days_per_sec: file_days / seconds,
+                // Daily decisions for every file (decide_every = 1), so the
+                // rate coincides with file-days/sec by construction.
+                decisions_per_sec: file_days / seconds,
+                peak_rss_kb: rss,
+            };
+            println!(
+                "{:<10} {:>8} {:>9.3} {:>13.0} {:>16.0} {:>15.0} {:>12}",
+                entry.policy,
+                entry.workers,
+                entry.seconds,
+                entry.files_per_sec,
+                entry.file_days_per_sec,
+                entry.decisions_per_sec,
+                rss.map_or_else(|| "n/a".into(), |kb| kb.to_string()),
+            );
+            results.push(entry);
+        }
+    }
+
+    let max_workers = ladder.iter().copied().max().unwrap_or(1);
+    let doc = BenchDoc {
+        name: "bench_hotpath".to_owned(),
+        config: ConfigBlock::new(files, days, seed, max_workers),
+        quick,
+        results,
+    };
+    let body = serde_json::to_string(&doc).map_err(|e| e.to_string())?;
+    std::fs::write(out, format!("{body}\n")).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}");
     Ok(())
 }
 

@@ -19,6 +19,7 @@
 //!   between worker counts; they are merged as the per-day maximum (the
 //!   parallel critical path) with the raw per-shard ledgers preserved.
 
+use crate::fleet::FleetState;
 use crate::policy::{DecisionContext, Policy};
 use crate::sim::{SimConfig, SimResult};
 use pricing::{CostBreakdown, CostModel, FileDay, Money, TIER_COUNT};
@@ -76,32 +77,34 @@ pub struct ShardRun {
     pub occupancy: Vec<[usize; TIER_COUNT]>,
 }
 
-/// Runs `policy` over the shard `indices` of `trace` for every day — the
-/// single-threaded billing loop restricted to one batch of files.
+/// Runs `policy` over the shard `indices` of the columnar `fleet` for
+/// every day — the single-threaded billing loop restricted to one batch of
+/// files.
 ///
 /// Panics if the policy returns a tier vector of the wrong length.
 pub fn run_shard(
-    trace: &Trace,
+    fleet: &FleetState,
     model: &CostModel,
     policy: &mut dyn Policy,
     cfg: &SimConfig,
     indices: &[usize],
 ) -> ShardRun {
     let m = indices.len();
+    let days = fleet.days();
     // Setup buffers, sized once per shard; the day loop below reuses them
     // and must stay allocation-free (the F5 `hot-alloc` gate).
     let mut current = vec![cfg.initial_tier; m];
     let mut decision = vec![cfg.initial_tier; m];
-    let mut daily = Vec::with_capacity(trace.days);
+    let mut daily = Vec::with_capacity(days);
     let mut per_file = vec![Money::ZERO; m];
-    let mut decision_millis = Vec::with_capacity(trace.days);
+    let mut decision_millis = Vec::with_capacity(days);
     let mut tier_changes = 0u64;
-    let mut occupancy = Vec::with_capacity(trace.days);
+    let mut occupancy = Vec::with_capacity(days);
 
-    for day in 0..trace.days {
+    for day in 0..days {
         // Decision phase, refilling the hoisted buffer in place.
         let decided = if day % cfg.decide_every.max(1) == 0 {
-            let ctx = DecisionContext { day, trace, model, batch: indices, current: &current };
+            let ctx = DecisionContext { day, fleet, model, batch: indices, current: &current };
             let start = Instant::now();
             policy.decide_batch_into(&ctx, &mut decision);
             decision_millis.push(start.elapsed().as_secs_f64() * 1e3);
@@ -114,7 +117,6 @@ pub fn run_shard(
         // Billing phase, in ascending global index order.
         let mut breakdown = CostBreakdown::default();
         for (slot, &ix) in indices.iter().enumerate() {
-            let file = &trace.files[ix];
             let target = if decided { decision[slot] } else { current[slot] };
             let changed_from = if target != current[slot] {
                 tier_changes += 1;
@@ -122,9 +124,9 @@ pub fn run_shard(
             } else {
                 None
             };
-            let (reads, writes) = file.day(day);
+            let (reads, writes) = fleet.day_counts(ix, day);
             let day_bill = model.day_breakdown(&FileDay {
-                size_gb: file.size_gb,
+                size_gb: fleet.size_gb(ix),
                 reads,
                 writes,
                 tier: target,
@@ -313,8 +315,9 @@ mod tests {
     fn merged_single_shard_equals_simulate() {
         let (trace, model) = setup();
         let cfg = SimConfig::default();
+        let columns = FleetState::from_trace(&trace);
         let all: Vec<usize> = (0..trace.len()).collect();
-        let shard = run_shard(&trace, &model, &mut GreedyPolicy, &cfg, &all);
+        let shard = run_shard(&columns, &model, &mut GreedyPolicy, &cfg, &all);
         let merged = merge_shards("greedy", trace.days, trace.len(), std::slice::from_ref(&shard));
         let direct = simulate(&trace, &model, &mut GreedyPolicy, &cfg);
         assert_eq!(merged.daily, direct.daily);
@@ -327,7 +330,8 @@ mod tests {
     fn empty_shard_produces_zero_ledgers() {
         let (trace, model) = setup();
         let cfg = SimConfig::default();
-        let shard = run_shard(&trace, &model, &mut GreedyPolicy, &cfg, &[]);
+        let columns = FleetState::from_trace(&trace);
+        let shard = run_shard(&columns, &model, &mut GreedyPolicy, &cfg, &[]);
         assert_eq!(shard.daily.len(), trace.days);
         assert!(shard.daily.iter().all(|d| d.total() == Money::ZERO));
         assert_eq!(shard.decision_millis.len(), trace.days);

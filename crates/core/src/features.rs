@@ -11,6 +11,7 @@
 //!   [`nn::ConvBranch`]): log-scaled mean read rate, file size, write/read
 //!   ratio, and a one-hot of the current tier.
 
+use crate::fleet::{FeatureBlock, FleetView};
 use pricing::{Tier, TIER_COUNT};
 use serde::{Deserialize, Serialize};
 use tracegen::FileSeries;
@@ -58,22 +59,76 @@ impl FeatureConfig {
     /// total: any `day <= file.days()` is valid.
     #[must_use]
     pub fn encode(&self, file: &FileSeries, day: usize, tier: Tier) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.state_dim());
-        self.encode_into(&mut out, file, day, tier);
+        self.encode_state(&file.reads, &file.writes, file.size_gb, day, tier)
+    }
+
+    /// [`FeatureConfig::encode`] over raw columns — an allocating
+    /// convenience over [`FeatureConfig::encode_slices`] for call sites
+    /// without a `FileSeries` at hand (e.g. columnar fleet rows).
+    #[must_use]
+    pub fn encode_state(
+        &self,
+        reads: &[u64],
+        writes: &[u64],
+        size_gb: f64,
+        day: usize,
+        tier: Tier,
+    ) -> Vec<f64> {
+        let mut out = vec![0.0; self.state_dim()];
+        self.encode_slices(&mut out, reads, writes, size_gb, day, tier);
         out
     }
 
     /// Appends the feature vector for `file` on `day` in `tier` to `out`,
-    /// reusing `out`'s existing allocation. This is the batch-assembly
-    /// workhorse: encoding a fleet into one flat buffer costs a single
-    /// amortized allocation instead of one `Vec` per file.
+    /// reusing `out`'s existing allocation — the flat-buffer assembly path
+    /// for callers that still hold row-major [`FileSeries`]. The decision
+    /// hot loop uses [`FeatureConfig::encode_block`] instead.
     pub fn encode_into(&self, out: &mut Vec<f64>, file: &FileSeries, day: usize, tier: Tier) {
-        assert!(day <= file.days(), "day beyond series");
         let start = out.len();
-        out.reserve(self.state_dim());
+        out.resize(start + self.state_dim(), 0.0);
+        self.encode_slices(&mut out[start..], &file.reads, &file.writes, file.size_gb, day, tier);
+    }
+
+    /// Encodes one batch row per [`FleetView`] slot into `block` — the
+    /// allocation-free batch featurization path: `block` is reshaped
+    /// (reusing its backing buffer) and every row written in slot order,
+    /// bit-identical to the per-file [`FeatureConfig::encode`] output.
+    ///
+    /// `current[slot]` is the tier batch entry `slot` currently occupies.
+    pub fn encode_block(&self, view: &FleetView<'_>, current: &[Tier], block: &mut FeatureBlock) {
+        assert_eq!(current.len(), view.len(), "one current tier per batch slot");
+        block.reset(view.len(), self.state_dim());
+        for (slot, &tier) in current.iter().enumerate() {
+            self.encode_slices(
+                block.row_mut(slot),
+                view.reads(slot),
+                view.writes(slot),
+                view.size_gb(slot),
+                view.day(),
+                tier,
+            );
+        }
+    }
+
+    /// The featurization kernel: writes the state for one file (given its
+    /// raw daily `reads`/`writes` columns and `size_gb`) on the morning of
+    /// `day` in `tier` into `out`, which must be exactly
+    /// [`FeatureConfig::state_dim`] long. Every other encoder is a wrapper
+    /// over this, so all paths share one floating-point evaluation order.
+    pub fn encode_slices(
+        &self,
+        out: &mut [f64],
+        reads: &[u64],
+        writes: &[u64],
+        size_gb: f64,
+        day: usize,
+        tier: Tier,
+    ) {
+        assert!(day <= reads.len(), "day beyond series");
+        assert_eq!(out.len(), self.state_dim(), "output row width mismatch");
 
         // Mean over the observed prefix (not the future!) for normalization.
-        let observed = &file.reads[..day];
+        let observed = &reads[..day];
         let mean = if observed.is_empty() {
             0.0
         } else {
@@ -89,31 +144,36 @@ impl FeatureConfig {
         //
         // Channel 0: absolute level, log-compressed. Chronological order:
         // oldest first, yesterday last.
+        let mut w = 0;
         for k in 0..self.window {
             let offset = self.window - k;
-            let value = if day >= offset { file.reads[day - offset] as f64 } else { mean };
-            out.push((1.0 + value).ln() / 10.0);
+            let value = if day >= offset { reads[day - offset] as f64 } else { mean };
+            out[w] = (1.0 + value).ln() / 10.0;
+            w += 1;
         }
         // Channel 1: shape, normalized by the file's own observed mean.
         for k in 0..self.window {
             let offset = self.window - k;
-            let value = if day >= offset { file.reads[day - offset] as f64 } else { mean };
-            out.push((value / denom).min(HISTORY_CAP));
+            let value = if day >= offset { reads[day - offset] as f64 } else { mean };
+            out[w] = (value / denom).min(HISTORY_CAP);
+            w += 1;
         }
 
         // Scalar extras.
         let mean_writes = if observed.is_empty() {
             0.0
         } else {
-            file.writes[..day].iter().sum::<u64>() as f64 / day as f64
+            writes[..day].iter().sum::<u64>() as f64 / day as f64
         };
-        out.push((mean + 1.0).ln() / 10.0); // log-scale popularity
-        out.push(file.size_gb); // ~0.1 GB typical, already unit-scale
-        out.push(mean_writes / denom); // write/read ratio
+        out[w] = (mean + 1.0).ln() / 10.0; // log-scale popularity
+        out[w + 1] = size_gb; // ~0.1 GB typical, already unit-scale
+        out[w + 2] = mean_writes / denom; // write/read ratio
+        w += 3;
         for t in Tier::all() {
-            out.push(if t == tier { 1.0 } else { 0.0 });
+            out[w] = if t == tier { 1.0 } else { 0.0 };
+            w += 1;
         }
-        debug_assert_eq!(out.len() - start, self.state_dim());
+        debug_assert_eq!(w, self.state_dim());
     }
 }
 
@@ -255,5 +315,53 @@ mod tests {
     fn day_out_of_range_panics() {
         let f = file(vec![1, 2]);
         let _ = FeatureConfig::default().encode(&f, 3, Tier::Hot);
+    }
+
+    #[test]
+    fn encode_block_matches_per_file_encode_bit_for_bit() {
+        use crate::fleet::{FeatureBlock, FleetState};
+        use tracegen::Trace;
+
+        let files: Vec<FileSeries> =
+            [vec![3, 1, 4, 1, 5, 9, 2], vec![2, 7, 1, 8, 2, 8, 1], vec![0, 0, 0, 0, 0, 0, 0]]
+                .into_iter()
+                .map(file)
+                .collect();
+        let trace = Trace { days: 7, files };
+        let fleet = FleetState::from_trace(&trace);
+        let cfg = FeatureConfig { window: 4 };
+        let batch = [2usize, 0, 1];
+        let current = [Tier::Archive, Tier::Hot, Tier::Cool];
+        let mut block = FeatureBlock::new();
+        // Dirty the block with a different shape first: reuse must not leak.
+        block.reset(7, 2);
+        block.row_mut(0).fill(9.0);
+        for day in [0usize, 2, 6] {
+            cfg.encode_block(&fleet.view(&batch, day), &current, &mut block);
+            assert_eq!(block.rows(), batch.len());
+            for (slot, &ix) in batch.iter().enumerate() {
+                let expect = cfg.encode(&trace.files[ix], day, current[slot]);
+                assert_eq!(block.matrix().row(slot), &expect[..], "slot {slot} day {day}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_state_matches_encode() {
+        let f = file(vec![3, 1, 4, 1, 5]);
+        let cfg = FeatureConfig::default();
+        assert_eq!(
+            cfg.encode_state(&f.reads, &f.writes, f.size_gb, 4, Tier::Cool),
+            cfg.encode(&f, 4, Tier::Cool)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn encode_slices_rejects_wrong_width() {
+        let f = file(vec![1, 2, 3]);
+        let cfg = FeatureConfig { window: 2 };
+        let mut out = vec![0.0; cfg.state_dim() + 1];
+        cfg.encode_slices(&mut out, &f.reads, &f.writes, f.size_gb, 1, Tier::Hot);
     }
 }

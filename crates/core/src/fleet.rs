@@ -1,0 +1,330 @@
+//! Columnar (struct-of-arrays) fleet state for the decision hot loop.
+//!
+//! The simulate/serve day loop used to walk `Vec<FileSeries>` — one heap
+//! object per file, with the per-day counts behind two pointer hops. At
+//! fleet scale the decision sweep is memory-bound, so the engine now runs
+//! on a [`FleetState`]: one dense, `FileId`-indexed block per column
+//! (sizes, read series, write series), file-major with a fixed `days`
+//! stride so one file's history is still a plain contiguous slice.
+//!
+//! Policies observe the fleet through a borrowed [`FleetView`] — an
+//! immutable window over one decision batch — and batch featurization
+//! lands in a [`FeatureBlock`], a reusable `files x state_dim` matrix fed
+//! straight to the network forward pass. The borrowing contract is
+//! deliberate: a view borrows the fleet for the duration of one decision
+//! call and cannot outlive it, so policies can never retain stale fleet
+//! pointers across days (DESIGN.md §14).
+
+use nn::Matrix;
+use tracegen::{FileId, Trace};
+
+/// Dense struct-of-arrays fleet state.
+///
+/// Row `ix` (a file's global index) owns `sizes[ix]` and the half-open
+/// slices `reads[ix*days .. (ix+1)*days]` / `writes[..]` — file-major
+/// layout, so per-file history reads are contiguous and the per-day
+/// billing sweep walks each column with unit stride per file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetState {
+    /// Horizon length every series spans (the column stride).
+    days: usize,
+    /// File identities, indexed by global file index.
+    ids: Vec<FileId>,
+    /// File sizes, indexed by global file index.
+    /// xtask-unit: GB
+    sizes: Vec<f64>,
+    /// Daily read counts, file-major (`ix * days + day`).
+    /// xtask-unit: ops
+    reads: Vec<u64>,
+    /// Daily write counts, file-major (`ix * days + day`).
+    /// xtask-unit: ops
+    writes: Vec<u64>,
+}
+
+impl FleetState {
+    /// Builds the columnar state from a row-major [`Trace`].
+    ///
+    /// Panics if any series length disagrees with the trace horizon —
+    /// the same shapes the day loop would reject later, caught at
+    /// construction instead.
+    #[must_use]
+    pub fn from_trace(trace: &Trace) -> FleetState {
+        let days = trace.days;
+        let n = trace.files.len();
+        let mut ids = Vec::with_capacity(n);
+        let mut sizes = Vec::with_capacity(n);
+        let mut reads = Vec::with_capacity(n * days);
+        let mut writes = Vec::with_capacity(n * days);
+        for file in &trace.files {
+            assert_eq!(file.days(), days, "series length must equal the trace horizon");
+            ids.push(file.id);
+            sizes.push(file.size_gb);
+            reads.extend_from_slice(&file.reads);
+            writes.extend_from_slice(&file.writes);
+        }
+        FleetState { days, ids, sizes, reads, writes }
+    }
+
+    /// Builds directly from columns (the serve loop synthesizes these from
+    /// its bounded online statistics without a `Trace` detour).
+    ///
+    /// Panics unless `sizes` parallels `ids` and both count columns hold
+    /// exactly `ids.len() * days` entries.
+    #[must_use]
+    pub fn from_columns(
+        days: usize,
+        ids: Vec<FileId>,
+        sizes: Vec<f64>,
+        reads: Vec<u64>,
+        writes: Vec<u64>,
+    ) -> FleetState {
+        assert_eq!(sizes.len(), ids.len(), "one size per file");
+        assert_eq!(reads.len(), ids.len() * days, "reads column length mismatch");
+        assert_eq!(writes.len(), ids.len() * days, "writes column length mismatch");
+        FleetState { days, ids, sizes, reads, writes }
+    }
+
+    /// Number of files.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when the fleet has no files.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Horizon length every series spans.
+    #[must_use]
+    pub fn days(&self) -> usize {
+        self.days
+    }
+
+    /// Identity of file `ix`.
+    #[must_use]
+    pub fn id(&self, ix: usize) -> FileId {
+        self.ids[ix]
+    }
+
+    /// Size of file `ix`.
+    #[must_use]
+    pub fn size_gb(&self, ix: usize) -> f64 {
+        self.sizes[ix]
+    }
+
+    /// Full daily read series of file `ix` (contiguous, length
+    /// [`FleetState::days`]).
+    #[must_use]
+    pub fn reads(&self, ix: usize) -> &[u64] {
+        &self.reads[ix * self.days..(ix + 1) * self.days]
+    }
+
+    /// Full daily write series of file `ix`.
+    #[must_use]
+    pub fn writes(&self, ix: usize) -> &[u64] {
+        &self.writes[ix * self.days..(ix + 1) * self.days]
+    }
+
+    /// Read/write pair of file `ix` on `day`. Panics when out of range.
+    #[must_use]
+    pub fn day_counts(&self, ix: usize, day: usize) -> (u64, u64) {
+        assert!(day < self.days, "day beyond horizon");
+        (self.reads[ix * self.days + day], self.writes[ix * self.days + day])
+    }
+
+    /// A borrowed decision-batch window (see [`FleetView`]).
+    #[must_use]
+    pub fn view<'a>(&'a self, batch: &'a [usize], day: usize) -> FleetView<'a> {
+        FleetView { fleet: self, batch, day }
+    }
+}
+
+/// A borrowed, immutable window over one decision batch of a
+/// [`FleetState`].
+///
+/// Slot indices are positions inside the batch; [`FleetView::global`]
+/// maps them back to global file indices. The view's lifetime ties it to
+/// both the fleet and the batch, so policies consume it inside one
+/// decision call and cannot store it (the borrowing contract of
+/// DESIGN.md §14).
+#[derive(Clone, Copy, Debug)]
+pub struct FleetView<'a> {
+    fleet: &'a FleetState,
+    batch: &'a [usize],
+    day: usize,
+}
+
+impl<'a> FleetView<'a> {
+    /// Number of files in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// `true` when the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+
+    /// The day this view decides.
+    #[must_use]
+    pub fn day(&self) -> usize {
+        self.day
+    }
+
+    /// Global file index of batch entry `slot`.
+    #[must_use]
+    pub fn global(&self, slot: usize) -> usize {
+        self.batch[slot]
+    }
+
+    /// Size of batch entry `slot`.
+    #[must_use]
+    pub fn size_gb(&self, slot: usize) -> f64 {
+        self.fleet.size_gb(self.batch[slot])
+    }
+
+    /// Full daily read series of batch entry `slot`.
+    #[must_use]
+    pub fn reads(&self, slot: usize) -> &'a [u64] {
+        self.fleet.reads(self.batch[slot])
+    }
+
+    /// Full daily write series of batch entry `slot`.
+    #[must_use]
+    pub fn writes(&self, slot: usize) -> &'a [u64] {
+        self.fleet.writes(self.batch[slot])
+    }
+
+    /// Read/write pair of batch entry `slot` on the view's day.
+    #[must_use]
+    pub fn day_counts(&self, slot: usize) -> (u64, u64) {
+        self.fleet.day_counts(self.batch[slot], self.day)
+    }
+}
+
+/// A reusable `files x state_dim` block of encoded features.
+///
+/// [`crate::features::FeatureConfig::encode_block`] fills one row per
+/// batch entry; the backing [`Matrix`] then goes straight into the actor
+/// network's buffer-reusing forward pass. Reshaping reuses the backing
+/// allocation, so one block hoisted into the policy serves every decision
+/// day allocation-free at steady state.
+#[derive(Clone, Debug, Default)]
+pub struct FeatureBlock {
+    states: Matrix,
+}
+
+impl FeatureBlock {
+    /// An empty block.
+    #[must_use]
+    pub fn new() -> FeatureBlock {
+        FeatureBlock::default()
+    }
+
+    /// Reshapes to `rows x state_dim` and zero-fills, reusing the backing
+    /// allocation when possible.
+    pub fn reset(&mut self, rows: usize, state_dim: usize) {
+        self.states.reset(rows, state_dim);
+    }
+
+    /// Number of encoded rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.states.rows()
+    }
+
+    /// Mutable feature row for batch entry `slot`.
+    pub fn row_mut(&mut self, slot: usize) -> &mut [f64] {
+        self.states.row_mut(slot)
+    }
+
+    /// The encoded block as a matrix (network forward input).
+    #[must_use]
+    pub fn matrix(&self) -> &Matrix {
+        &self.states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracegen::TraceConfig;
+
+    #[test]
+    fn from_trace_round_trips_every_column() {
+        let trace = Trace::generate(&TraceConfig::small(17, 9, 5));
+        let fleet = FleetState::from_trace(&trace);
+        assert_eq!(fleet.len(), trace.files.len());
+        assert_eq!(fleet.days(), trace.days);
+        assert!(!fleet.is_empty());
+        for (ix, file) in trace.files.iter().enumerate() {
+            assert_eq!(fleet.id(ix), file.id);
+            assert_eq!(fleet.size_gb(ix), file.size_gb);
+            assert_eq!(fleet.reads(ix), &file.reads[..]);
+            assert_eq!(fleet.writes(ix), &file.writes[..]);
+            for day in 0..trace.days {
+                assert_eq!(fleet.day_counts(ix, day), file.day(day));
+            }
+        }
+    }
+
+    #[test]
+    fn view_maps_slots_through_the_batch() {
+        let trace = Trace::generate(&TraceConfig::small(10, 6, 2));
+        let fleet = FleetState::from_trace(&trace);
+        let batch = [7usize, 2, 4];
+        let view = fleet.view(&batch, 3);
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.day(), 3);
+        for (slot, &ix) in batch.iter().enumerate() {
+            assert_eq!(view.global(slot), ix);
+            assert_eq!(view.size_gb(slot), fleet.size_gb(ix));
+            assert_eq!(view.reads(slot), fleet.reads(ix));
+            assert_eq!(view.writes(slot), fleet.writes(ix));
+            assert_eq!(view.day_counts(slot), fleet.day_counts(ix, 3));
+        }
+    }
+
+    #[test]
+    fn from_columns_matches_from_trace() {
+        let trace = Trace::generate(&TraceConfig::small(5, 4, 9));
+        let by_trace = FleetState::from_trace(&trace);
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        for f in &trace.files {
+            reads.extend_from_slice(&f.reads);
+            writes.extend_from_slice(&f.writes);
+        }
+        let by_columns = FleetState::from_columns(
+            trace.days,
+            trace.files.iter().map(|f| f.id).collect(),
+            trace.files.iter().map(|f| f.size_gb).collect(),
+            reads,
+            writes,
+        );
+        assert_eq!(by_columns, by_trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "column length mismatch")]
+    fn from_columns_rejects_short_series() {
+        let _ = FleetState::from_columns(3, vec![FileId(0)], vec![1.0], vec![1, 2], vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn feature_block_reshapes_and_exposes_rows() {
+        let mut block = FeatureBlock::new();
+        block.reset(2, 4);
+        assert_eq!(block.rows(), 2);
+        block.row_mut(1).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(block.matrix().row(0), &[0.0; 4]);
+        assert_eq!(block.matrix().row(1), &[1.0, 2.0, 3.0, 4.0]);
+        block.reset(1, 2); // dirty reuse must zero-fill
+        assert_eq!(block.matrix().row(0), &[0.0; 2]);
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`engine`] — the sharded parallel engine behind [`sim::simulate`]:
 //!   deterministic fleet partitioning, per-shard accumulators, and the
 //!   fixed-order merge that keeps parallel runs bit-identical.
+//! * [`fleet`] — the columnar (struct-of-arrays) fleet state the hot loop
+//!   runs on, plus the borrowed [`fleet::FleetView`] / [`fleet::FeatureBlock`]
+//!   surface policies consume.
 //! * [`policy`] — the paper's five comparison strategies: `Hot`, `Cold`,
 //!   `Greedy`, `Optimal` (exact per-file DP; provably the brute-force
 //!   optimum), and the trained `RlPolicy`.
@@ -66,8 +69,10 @@
 #![cfg_attr(test, allow(clippy::float_cmp))]
 
 pub mod aggregate;
+pub mod benchcfg;
 pub mod engine;
 pub mod features;
+pub mod fleet;
 pub mod mdp;
 pub mod metrics;
 pub mod multi;
@@ -82,10 +87,12 @@ pub mod train;
 /// One-stop imports for examples and experiment harnesses.
 pub mod prelude {
     pub use crate::aggregate::{apply_aggregation, AggregationPlanner, Omega};
+    pub use crate::benchcfg::ConfigBlock;
     pub use crate::engine::{
         merge_shards, par_map_indices, partition, run_shard, shard_of, ShardRun,
     };
     pub use crate::features::FeatureConfig;
+    pub use crate::fleet::{FeatureBlock, FleetState, FleetView};
     pub use crate::mdp::{OracleTables, RewardConfig, RewardKind, TieringEnv, TieringEnvConfig};
     pub use crate::metrics::{
         bucket_costs, decision_latency, normalized_costs, DecisionLatency, OverheadTimer,

@@ -1,37 +1,39 @@
 //! The paper's five data-storage-type assignment strategies (§6.1):
 //! *Hot*, *Cold*, *Greedy*, *Optimal*, and the RL-driven *MiniCost* policy.
 //!
-//! The trait is **batch-first**: the simulator hands every policy a
-//! [`DecisionContext`] describing a *batch* of files (identified by their
-//! global indices into the trace) and asks for one tier per batch entry.
-//! A batch may be the whole fleet (single-threaded runs) or one shard of it
-//! (the parallel engine in [`crate::engine`]). The sharding determinism
-//! contract (DESIGN.md §9) requires every policy's decision for a file to
-//! depend only on that file, the day, and the file's own current tier —
-//! never on which other files share the batch.
+//! The trait is **batch-first and columnar**: the simulator hands every
+//! policy a [`DecisionContext`] describing a *batch* of files (identified by
+//! their global indices into the columnar [`FleetState`]) and asks for one
+//! tier per batch entry. A batch may be the whole fleet (single-threaded
+//! runs) or one shard of it (the parallel engine in [`crate::engine`]). The
+//! sharding determinism contract (DESIGN.md §9) requires every policy's
+//! decision for a file to depend only on that file, the day, and the file's
+//! own current tier — never on which other files share the batch.
 
 use crate::features::FeatureConfig;
+use crate::fleet::{FeatureBlock, FleetState, FleetView};
 use crate::optimal::optimal_plan;
 use pricing::{CostModel, Money, Tier};
 use rl::actor_critic::argmax;
 use rl::{NetSpec, TrainResult};
-use tracegen::{FileSeries, Trace};
+use tracegen::Trace;
 
 /// Everything a policy may observe when deciding tiers for one batch of
 /// files on one day.
 ///
-/// The information model follows the paper: *Hot*/*Cold* ignore the trace;
+/// The information model follows the paper: *Hot*/*Cold* ignore the fleet;
 /// *Greedy* reads the decided day's true frequencies (it is an "offline
 /// greedy algorithm for each day"); *Optimal* reads the whole future;
 /// the RL policy reads only history strictly before `day`.
 pub struct DecisionContext<'a> {
     /// The day being decided (tiers apply for this whole day).
     pub day: usize,
-    /// The full trace (each policy uses only its allowed slice).
-    pub trace: &'a Trace,
+    /// The whole fleet in columnar form (each policy uses only its allowed
+    /// slice of history).
+    pub fleet: &'a FleetState,
     /// The pricing/cost model.
     pub model: &'a CostModel,
-    /// Global indices (into `trace.files`) of the files in this batch, in
+    /// Global indices (into `fleet`) of the files in this batch, in
     /// ascending order.
     pub batch: &'a [usize],
     /// Tier each batch entry occupied at the end of the previous day,
@@ -52,16 +54,41 @@ impl<'a> DecisionContext<'a> {
         self.batch.is_empty()
     }
 
-    /// The file behind batch entry `slot`.
-    #[must_use]
-    pub fn file(&self, slot: usize) -> &'a FileSeries {
-        &self.trace.files[self.batch[slot]]
-    }
-
-    /// The global trace index of batch entry `slot`.
+    /// The global fleet index of batch entry `slot`.
     #[must_use]
     pub fn global(&self, slot: usize) -> usize {
         self.batch[slot]
+    }
+
+    /// Size of batch entry `slot`.
+    #[must_use]
+    pub fn size_gb(&self, slot: usize) -> f64 {
+        self.fleet.size_gb(self.batch[slot])
+    }
+
+    /// Full daily read series of batch entry `slot`.
+    #[must_use]
+    pub fn reads(&self, slot: usize) -> &'a [u64] {
+        self.fleet.reads(self.batch[slot])
+    }
+
+    /// Full daily write series of batch entry `slot`.
+    #[must_use]
+    pub fn writes(&self, slot: usize) -> &'a [u64] {
+        self.fleet.writes(self.batch[slot])
+    }
+
+    /// Read/write pair of batch entry `slot` on the decided day.
+    #[must_use]
+    pub fn day_counts(&self, slot: usize) -> (u64, u64) {
+        self.fleet.day_counts(self.batch[slot], self.day)
+    }
+
+    /// The batch as a borrowed [`FleetView`] (the batched-featurization
+    /// input).
+    #[must_use]
+    pub fn view(&self) -> FleetView<'a> {
+        self.fleet.view(self.batch, self.day)
     }
 }
 
@@ -118,9 +145,25 @@ pub trait Policy: Send {
         out
     }
 
-    /// Decides the whole fleet in one batch (convenience for call sites
-    /// outside the sharded engine). `current` must hold one tier per trace
-    /// file.
+    /// Decides the whole columnar fleet in one batch (convenience for call
+    /// sites outside the sharded engine). `current` must hold one tier per
+    /// fleet file.
+    fn decide_full(
+        &mut self,
+        day: usize,
+        fleet: &FleetState,
+        model: &CostModel,
+        current: &[Tier],
+    ) -> Vec<Tier> {
+        assert_eq!(current.len(), fleet.len(), "one current tier per file");
+        let batch: Vec<usize> = (0..fleet.len()).collect();
+        let ctx = DecisionContext { day, fleet, model, batch: &batch, current };
+        self.decide_batch(&ctx)
+    }
+
+    /// [`Policy::decide_full`] from a row-major [`Trace`]: columnarizes the
+    /// trace first, so only suitable for one-shot calls (tests, examples) —
+    /// repeated callers should build the [`FleetState`] once themselves.
     fn decide_fleet(
         &mut self,
         day: usize,
@@ -128,10 +171,7 @@ pub trait Policy: Send {
         model: &CostModel,
         current: &[Tier],
     ) -> Vec<Tier> {
-        assert_eq!(current.len(), trace.files.len(), "one current tier per file");
-        let batch: Vec<usize> = (0..trace.files.len()).collect();
-        let ctx = DecisionContext { day, trace, model, batch: &batch, current };
-        self.decide_batch(&ctx)
+        self.decide_full(day, &FleetState::from_trace(trace), model, current)
     }
 
     /// An independent copy for a parallel shard worker.
@@ -235,12 +275,12 @@ impl Policy for GreedyPolicy {
     }
 
     fn decide_one(&mut self, ctx: &DecisionContext<'_>, slot: usize) -> Tier {
-        let file = ctx.file(slot);
         let cur = ctx.current[slot];
-        let (r, w) = file.day(ctx.day);
+        let size_gb = ctx.size_gb(slot);
+        let (r, w) = ctx.day_counts(slot);
         let q = |t: Tier| {
-            ctx.model.policy().change_cost(cur, t, file.size_gb)
-                + ctx.model.steady_day_cost(file.size_gb, r, w, t)
+            ctx.model.policy().change_cost(cur, t, size_gb)
+                + ctx.model.steady_day_cost(size_gb, r, w, t)
         };
         Tier::all().reduce(|best, t| if q(t) < q(best) { t } else { best }).unwrap_or(cur)
     }
@@ -296,6 +336,11 @@ pub struct RlPolicy {
     spec: NetSpec,
     features: FeatureConfig,
     name: &'static str,
+    /// Batched-featurization scratch, hoisted so the daily decision sweep
+    /// reuses one `files x state_dim` block instead of reallocating it.
+    block: FeatureBlock,
+    /// Forward-pass ping-pong buffers, reused for the same reason.
+    scratch: nn::ForwardScratch,
 }
 
 impl RlPolicy {
@@ -316,7 +361,14 @@ impl RlPolicy {
         );
         let mut actor = spec.build_actor(0);
         actor.set_params(actor_params);
-        RlPolicy { actor, spec, features, name: "minicost" }
+        RlPolicy {
+            actor,
+            spec,
+            features,
+            name: "minicost",
+            block: FeatureBlock::new(),
+            scratch: nn::ForwardScratch::new(),
+        }
     }
 }
 
@@ -334,7 +386,13 @@ impl Policy for RlPolicy {
             // the current tier until the first observation arrives.
             return current;
         }
-        let state = self.features.encode(ctx.file(slot), ctx.day, current);
+        let state = self.features.encode_state(
+            ctx.reads(slot),
+            ctx.writes(slot),
+            ctx.size_gb(slot),
+            ctx.day,
+            current,
+        );
         let logits = self.actor.forward(&nn::Matrix::row_vector(&state));
         // The actor emits one logit per tier, so argmax is always a valid
         // index; hold the current tier if the network is ever mis-sized.
@@ -343,24 +401,21 @@ impl Policy for RlPolicy {
 
     /// Greedy actions for the whole batch in one network pass.
     ///
-    /// One `files x state_dim` matrix through the actor amortizes the
-    /// per-call overhead across the batch — this is what makes the daily
-    /// decision sweep of Fig. 12 cheap at scale. Every forward row depends
-    /// only on its own input row, so the result is bit-identical to
-    /// slot-wise [`Policy::decide_one`] regardless of batch composition.
+    /// The batch is featurized straight off the columnar fleet into the
+    /// policy's hoisted [`FeatureBlock`] and pushed through the actor's
+    /// buffer-reusing [`nn::Network::forward_into`], so the steady-state
+    /// sweep allocates nothing — this is what makes the daily decision
+    /// sweep of Fig. 12 cheap at scale. Every forward row depends only on
+    /// its own input row, so the result is bit-identical to slot-wise
+    /// [`Policy::decide_one`] regardless of batch composition.
     fn decide_batch_into(&mut self, ctx: &DecisionContext<'_>, out: &mut Vec<Tier>) {
         out.clear();
         if ctx.day == 0 || ctx.is_empty() {
             out.extend_from_slice(ctx.current);
             return;
         }
-        let dim = self.features.state_dim();
-        let mut states = Vec::with_capacity(ctx.len() * dim);
-        for (slot, &cur) in ctx.current.iter().enumerate() {
-            self.features.encode_into(&mut states, ctx.file(slot), ctx.day, cur);
-        }
-        let batch = nn::Matrix::from_vec(ctx.len(), dim, states);
-        let logits = self.actor.forward(&batch);
+        self.features.encode_block(&ctx.view(), ctx.current, &mut self.block);
+        let logits = self.actor.forward_into(self.block.matrix(), &mut self.scratch);
         out.extend(
             ctx.current
                 .iter()
@@ -392,13 +447,13 @@ mod tests {
     }
 
     fn ctx<'a>(
-        trace: &'a Trace,
+        fleet: &'a FleetState,
         model: &'a CostModel,
         day: usize,
         batch: &'a [usize],
         current: &'a [Tier],
     ) -> DecisionContext<'a> {
-        DecisionContext { day, trace, model, batch, current }
+        DecisionContext { day, fleet, model, batch, current }
     }
 
     fn test_spec() -> NetSpec {
@@ -417,9 +472,10 @@ mod tests {
     #[test]
     fn single_tier_policies_are_constant() {
         let (trace, model) = setup();
+        let columns = FleetState::from_trace(&trace);
         let batch = fleet(trace.len());
         let current = vec![Tier::Hot; trace.len()];
-        let c = ctx(&trace, &model, 0, &batch, &current);
+        let c = ctx(&columns, &model, 0, &batch, &current);
         assert!(HotPolicy.decide_batch(&c).iter().all(|&t| t == Tier::Hot));
         assert!(ColdPolicy.decide_batch(&c).iter().all(|&t| t == Tier::Cool));
         let mut archive = SingleTierPolicy::new(Tier::Archive);
@@ -432,9 +488,10 @@ mod tests {
     #[test]
     fn greedy_picks_the_cheapest_single_day() {
         let (trace, model) = setup();
+        let columns = FleetState::from_trace(&trace);
         let batch = fleet(trace.len());
         let current = vec![Tier::Hot; trace.len()];
-        let c = ctx(&trace, &model, 5, &batch, &current);
+        let c = ctx(&columns, &model, 5, &batch, &current);
         let decision = GreedyPolicy.decide_batch(&c);
         for (i, (&chosen, file)) in decision.iter().zip(&trace.files).enumerate() {
             let (r, w) = file.day(5);
@@ -503,9 +560,10 @@ mod tests {
         // linchpin.
         let (trace, model) = setup();
         let mut opt = OptimalPolicy::plan(&trace, &model, Tier::Hot);
+        let columns = FleetState::from_trace(&trace);
         let batch = vec![7usize, 12, 25];
         let current = vec![Tier::Hot; batch.len()];
-        let c = ctx(&trace, &model, 9, &batch, &current);
+        let c = ctx(&columns, &model, 9, &batch, &current);
         let decision = opt.decide_batch(&c);
         for (slot, &ix) in batch.iter().enumerate() {
             assert_eq!(decision[slot], opt.plans[ix][9]);
@@ -547,11 +605,12 @@ mod tests {
         let actor = spec.build_actor(9);
         let mut policy = RlPolicy::from_params(spec, &actor.param_vector(), features);
         let (trace, model) = setup();
+        let columns = FleetState::from_trace(&trace);
         let batch = fleet(trace.len());
         let current: Vec<Tier> =
             (0..trace.len()).map(|i| Tier::from_index(i % 3).unwrap()).collect();
         for day in [0usize, 1, 7] {
-            let c = ctx(&trace, &model, day, &batch, &current);
+            let c = ctx(&columns, &model, day, &batch, &current);
             let batched = policy.decide_batch(&c);
             let singly: Vec<Tier> = (0..c.len()).map(|slot| policy.decide_one(&c, slot)).collect();
             assert_eq!(batched, singly, "day {day}");
@@ -567,6 +626,7 @@ mod tests {
         let actor = spec.build_actor(9);
         let rl = RlPolicy::from_params(spec, &actor.param_vector(), features);
         let (trace, model) = setup();
+        let columns = FleetState::from_trace(&trace);
         let batch = fleet(trace.len());
         let current = vec![Tier::Hot; trace.len()];
         let mut policies: Vec<Box<dyn Policy>> = vec![
@@ -577,7 +637,7 @@ mod tests {
             rl.fork(),
         ];
         for day in [0usize, 3] {
-            let c = ctx(&trace, &model, day, &batch, &current);
+            let c = ctx(&columns, &model, day, &batch, &current);
             for policy in &mut policies {
                 let mut dirty = vec![Tier::Archive; trace.len() + 17];
                 policy.decide_batch_into(&c, &mut dirty);

@@ -12,7 +12,6 @@
 
 use crate::policy::{DecisionContext, Policy};
 use pricing::{Money, Tier, TIER_COUNT};
-use tracegen::FileSeries;
 
 /// A planner that forecasts request frequencies and optimizes tiers against
 /// the forecast.
@@ -59,20 +58,23 @@ impl<F: forecast::Forecaster> PredictivePolicy<F> {
         }
     }
 
-    /// Plans one file's next window from predicted frequencies.
+    /// Plans one file's next window from predicted frequencies, given the
+    /// file's raw daily columns.
     fn plan_file(
         &self,
-        file: &FileSeries,
+        reads: &[u64],
+        writes: &[u64],
+        size_gb: f64,
         day: usize,
         current: Tier,
         model: &pricing::CostModel,
     ) -> Vec<Tier> {
-        let history: Vec<f64> = file.reads[..day].iter().map(|&r| r as f64).collect();
-        let window = self.horizon.min(file.days() - day);
+        let history: Vec<f64> = reads[..day].iter().map(|&r| r as f64).collect();
+        let window = self.horizon.min(reads.len() - day);
         let predicted_reads = self.forecaster.forecast(&history, window);
         // Writes follow the file's observed write/read ratio.
-        let observed_reads: u64 = file.reads[..day].iter().sum();
-        let observed_writes: u64 = file.writes[..day].iter().sum();
+        let observed_reads: u64 = reads[..day].iter().sum();
+        let observed_writes: u64 = writes[..day].iter().sum();
         let write_ratio =
             if observed_reads == 0 { 0.0 } else { observed_writes as f64 / observed_reads as f64 };
 
@@ -86,12 +88,12 @@ impl<F: forecast::Forecaster> PredictivePolicy<F> {
         let cost_of = |pred: f64, tier: Tier| -> Money {
             let reads = pred.max(0.0).round() as u64;
             let writes = (pred.max(0.0) * write_ratio).round() as u64;
-            model.steady_day_cost(file.size_gb, reads, writes, tier)
+            model.steady_day_cost(size_gb, reads, writes, tier)
         };
         let mut best = vec![[Money::MAX; TIER_COUNT]; days];
         let mut parent = vec![[0usize; TIER_COUNT]; days];
         for tier in Tier::all() {
-            best[0][tier.index()] = model.policy().change_cost(current, tier, file.size_gb)
+            best[0][tier.index()] = model.policy().change_cost(current, tier, size_gb)
                 + cost_of(predicted_reads[0], tier);
         }
         for d in 1..days {
@@ -101,11 +103,8 @@ impl<F: forecast::Forecaster> PredictivePolicy<F> {
                     .map(|p| {
                         (
                             p,
-                            best[d - 1][p.index()].saturating_add(model.policy().change_cost(
-                                p,
-                                tier,
-                                file.size_gb,
-                            )),
+                            best[d - 1][p.index()]
+                                .saturating_add(model.policy().change_cost(p, tier, size_gb)),
                         )
                     })
                     .fold(None, |best: Option<(Tier, Money)>, cand| match best {
@@ -140,7 +139,7 @@ impl<F: forecast::Forecaster + Clone + Send + 'static> Policy for PredictivePoli
     }
 
     fn decide_one(&mut self, ctx: &DecisionContext<'_>, slot: usize) -> Tier {
-        self.refit_if_due(ctx.day, ctx.trace.files.len());
+        self.refit_if_due(ctx.day, ctx.fleet.len());
         let at = self.planned_at.unwrap_or(ctx.day);
         let global = ctx.global(slot);
         let cur = ctx.current[slot];
@@ -155,7 +154,14 @@ impl<F: forecast::Forecaster + Clone + Send + 'static> Policy for PredictivePoli
             } else {
                 // History is cut at the refit day, so a plan built lazily
                 // later in the window is identical to one built at refit.
-                self.plan_file(ctx.file(slot), at, cur, ctx.model)
+                self.plan_file(
+                    ctx.reads(slot),
+                    ctx.writes(slot),
+                    ctx.size_gb(slot),
+                    at,
+                    cur,
+                    ctx.model,
+                )
             };
             self.plans[global] = Some(plan);
         }

@@ -35,6 +35,7 @@
 //! degrade to sketch estimates for untracked files — billing stays exact
 //! because the loop owns the dense open-day counters either way.
 
+use crate::fleet::FleetState;
 use crate::policy::Policy;
 use crate::sim::SimResult;
 use crate::supervise::{IncidentKind, IncidentLog, SuperviseConfig, Supervisor};
@@ -324,9 +325,31 @@ struct SeriesStats<'a> {
     pending: (u64, u64),
 }
 
-/// Rebuilds one file's daily series view from online statistics: filler
-/// conserving the exact prefix sums, then the recent window verbatim, then
-/// the open day's pending counts at index `day`.
+/// Appends one file's `day + 1`-entry daily series to the flat columnar
+/// buffers: filler conserving the exact prefix sums, then the recent window
+/// verbatim, then the open day's pending counts at index `day`. The
+/// synthesis kernel behind [`synthesize_fleet`].
+fn push_series(reads: &mut Vec<u64>, writes: &mut Vec<u64>, day: usize, s: &SeriesStats<'_>) {
+    let keep = s.ring_reads.len().min(day);
+    let ring_reads = &s.ring_reads[s.ring_reads.len() - keep..];
+    let ring_writes = &s.ring_writes[s.ring_writes.len() - keep..];
+    let filler = day - keep;
+    let ring_sum_r: u64 = ring_reads.iter().sum();
+    let ring_sum_w: u64 = ring_writes.iter().sum();
+    push_filler(reads, s.sum_reads.saturating_sub(ring_sum_r), filler);
+    push_filler(writes, s.sum_writes.saturating_sub(ring_sum_w), filler);
+    reads.extend_from_slice(ring_reads);
+    writes.extend_from_slice(ring_writes);
+    reads.push(s.pending.0);
+    writes.push(s.pending.1);
+}
+
+/// Rebuilds one file's daily series view from online statistics as an
+/// owned [`FileSeries`].
+#[deprecated(note = "per-file series synthesis is superseded by the columnar \
+            `synthesize_fleet` path; kept only as the equivalence anchor \
+            for its test")]
+#[allow(dead_code)]
 fn synth_series(id: tracegen::FileId, size_gb: f64, day: usize, s: &SeriesStats<'_>) -> FileSeries {
     let keep = s.ring_reads.len().min(day);
     let ring_reads = &s.ring_reads[s.ring_reads.len() - keep..];
@@ -345,58 +368,63 @@ fn synth_series(id: tracegen::FileId, size_gb: f64, day: usize, s: &SeriesStats<
     FileSeries { id, size_gb, reads, writes }
 }
 
-/// Rebuilds the fleet-wide synthetic trace the policy decides on for `day`.
-fn synthesize_trace(
+/// Rebuilds the fleet-wide synthetic columnar state the policy decides on
+/// for `day`: every file's `day + 1`-entry series appended straight into
+/// the flat [`FleetState`] columns — no intermediate per-file `Vec`s, no
+/// `Trace` detour.
+fn synthesize_fleet(
     catalog: &Trace,
     state: &ServeState,
     pending_reads: &[u64],
     pending_writes: &[u64],
     day: usize,
-) -> Trace {
-    let files: Vec<FileSeries> = catalog
-        .files
-        .iter()
-        .enumerate()
-        .map(|(ix, file)| {
-            let pending = (pending_reads[ix], pending_writes[ix]);
-            if let Some(exact) = &state.exact {
-                let empty = stream::FileStats::new();
-                let s = exact.file(ix).unwrap_or(&empty);
-                let stats = SeriesStats {
-                    ring_reads: s.recent_reads(),
-                    ring_writes: s.recent_writes(),
-                    sum_reads: s.sum_reads(),
-                    sum_writes: s.sum_writes(),
-                    pending,
-                };
-                synth_series(file.id, file.size_gb, day, &stats)
-            } else if let Some(bounded) = &state.bounded {
-                let (sum_reads, sum_writes) = bounded.lifetime(file.id.0);
-                let ring_reads = bounded.window_reads(file.id.0);
-                let ring_writes = bounded.window_writes(file.id.0);
-                let stats = SeriesStats {
-                    ring_reads: &ring_reads,
-                    ring_writes: &ring_writes,
-                    sum_reads,
-                    sum_writes,
-                    pending,
-                };
-                synth_series(file.id, file.size_gb, day, &stats)
-            } else {
-                // Unreachable by construction (one mode is always present);
-                // degrade to an all-zero history rather than panic.
-                let stats = SeriesStats {
-                    ring_reads: &[],
-                    ring_writes: &[],
-                    sum_reads: 0,
-                    sum_writes: 0,
-                    pending,
-                };
-                synth_series(file.id, file.size_gb, day, &stats)
-            }
-        })
-        .collect();
-    Trace { days: day + 1, files }
+) -> FleetState {
+    let n = catalog.files.len();
+    let mut ids = Vec::with_capacity(n);
+    let mut sizes = Vec::with_capacity(n);
+    let mut reads = Vec::with_capacity(n * (day + 1));
+    let mut writes = Vec::with_capacity(n * (day + 1));
+    for (ix, file) in catalog.files.iter().enumerate() {
+        ids.push(file.id);
+        sizes.push(file.size_gb);
+        let pending = (pending_reads[ix], pending_writes[ix]);
+        if let Some(exact) = &state.exact {
+            let empty = stream::FileStats::new();
+            let s = exact.file(ix).unwrap_or(&empty);
+            let stats = SeriesStats {
+                ring_reads: s.recent_reads(),
+                ring_writes: s.recent_writes(),
+                sum_reads: s.sum_reads(),
+                sum_writes: s.sum_writes(),
+                pending,
+            };
+            push_series(&mut reads, &mut writes, day, &stats);
+        } else if let Some(bounded) = &state.bounded {
+            let (sum_reads, sum_writes) = bounded.lifetime(file.id.0);
+            let ring_reads = bounded.window_reads(file.id.0);
+            let ring_writes = bounded.window_writes(file.id.0);
+            let stats = SeriesStats {
+                ring_reads: &ring_reads,
+                ring_writes: &ring_writes,
+                sum_reads,
+                sum_writes,
+                pending,
+            };
+            push_series(&mut reads, &mut writes, day, &stats);
+        } else {
+            // Unreachable by construction (one mode is always present);
+            // degrade to an all-zero history rather than panic.
+            let stats = SeriesStats {
+                ring_reads: &[],
+                ring_writes: &[],
+                sum_reads: 0,
+                sum_writes: 0,
+                pending,
+            };
+            push_series(&mut reads, &mut writes, day, &stats);
+        }
+    }
+    FleetState::from_columns(day + 1, ids, sizes, reads, writes)
 }
 
 /// Restores serving state from the newest usable rotation candidate.
@@ -648,7 +676,7 @@ pub(crate) fn run_supervised(
         // assembled purely from online statistics. The supervisor retries
         // injected policy-step failures and degrades past the budget.
         let decided = if day % cfg.decide_every == 0 {
-            let synthetic = synthesize_trace(trace, &state, &pending_reads, &pending_writes, day);
+            let synthetic = synthesize_fleet(trace, &state, &pending_reads, &pending_writes, day);
             let start = Instant::now();
             let decision = sup.decide(policy, day, &synthetic, model, &state.tiers)?;
             state.decision_millis.push(start.elapsed().as_secs_f64() * 1e3);
@@ -818,6 +846,30 @@ mod tests {
             serve(&trace, &model, &mut GreedyPolicy, &cfg),
             Err(ServeError::Config(_))
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn columnar_synthesis_matches_deprecated_per_file_path() {
+        // The deprecated per-file synthesizer is kept as the equivalence
+        // anchor: the columnar kernel must append exactly the series it
+        // would have built, for short, window-sized, and filler-heavy days.
+        let stats = SeriesStats {
+            ring_reads: &[3, 4, 5],
+            ring_writes: &[1, 0, 2],
+            sum_reads: 40,
+            sum_writes: 9,
+            pending: (7, 1),
+        };
+        for day in [0usize, 2, 3, 9] {
+            let legacy = synth_series(tracegen::FileId(3), 0.25, day, &stats);
+            let mut reads = Vec::new();
+            let mut writes = Vec::new();
+            push_series(&mut reads, &mut writes, day, &stats);
+            assert_eq!(reads, legacy.reads, "day {day}");
+            assert_eq!(writes, legacy.writes, "day {day}");
+            assert_eq!(reads.len(), day + 1);
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! single-threaded run (see DESIGN.md §9 for the contract).
 
 use crate::engine;
+use crate::fleet::FleetState;
 use crate::policy::Policy;
 use pricing::{CostBreakdown, CostModel, Money, Tier, TIER_COUNT};
 use serde::{Deserialize, Serialize};
@@ -228,20 +229,23 @@ pub fn simulate(
     assert!(cfg.decide_every > 0, "decide_every must be positive");
     let n = trace.files.len();
     let workers = cfg.workers.max(1).min(n.max(1));
+    // Columnarize once per run; shard workers share the one read-only state.
+    let fleet = FleetState::from_trace(trace);
 
     if workers == 1 {
         let all: Vec<usize> = (0..n).collect();
-        let shard = engine::run_shard(trace, model, policy, cfg, &all);
+        let shard = engine::run_shard(&fleet, model, policy, cfg, &all);
         return engine::merge_shards(policy.name(), trace.days, n, std::slice::from_ref(&shard));
     }
 
     let shards = engine::partition(trace, cfg.seed, workers);
     let runs: Vec<engine::ShardRun> = std::thread::scope(|scope| {
+        let fleet = &fleet;
         let handles: Vec<_> = shards
             .iter()
             .map(|indices| {
                 let mut forked = policy.fork();
-                scope.spawn(move || engine::run_shard(trace, model, forked.as_mut(), cfg, indices))
+                scope.spawn(move || engine::run_shard(fleet, model, forked.as_mut(), cfg, indices))
             })
             .collect();
         // Join in spawn order == partition order: the merge below must

@@ -20,6 +20,7 @@
 //! injected failure spends budget. The default allowance (8) exceeds the
 //! standard chaos plan's budget (6) for exactly this reason.
 
+use crate::fleet::FleetState;
 use crate::policy::{ColdPolicy, GreedyPolicy, HotPolicy, Policy};
 use crate::serve::{ServeConfig, ServeError, ServeReport};
 use pricing::{CostModel, Tier};
@@ -379,7 +380,7 @@ impl Supervisor {
         &mut self,
         policy: &mut dyn Policy,
         day: usize,
-        trace: &Trace,
+        fleet: &FleetState,
         model: &CostModel,
         current: &[Tier],
     ) -> Result<Vec<Tier>, ServeError> {
@@ -390,7 +391,7 @@ impl Supervisor {
                 None => false,
             };
             if !fired {
-                return Ok(policy.decide_fleet(day, trace, model, current));
+                return Ok(policy.decide_full(day, fleet, model, current));
             }
             if attempt < self.cfg.max_retries {
                 let delay = self.backoff_ms(attempt);
@@ -414,7 +415,7 @@ impl Supervisor {
                         IncidentKind::Degraded,
                         format!("epoch pinned to fallback policy {:?}", fb.name()),
                     );
-                    let decision = fb.decide_fleet(day, trace, model, current);
+                    let decision = fb.decide_full(day, fleet, model, current);
                     self.fallback = Some(fb);
                     Ok(decision)
                 }

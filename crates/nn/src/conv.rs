@@ -80,10 +80,16 @@ impl Conv1d {
 
 impl Layer for Conv1d {
     fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
         assert_eq!(input.cols(), self.input_width(), "conv input width mismatch");
-        self.last_input = input.clone();
+        self.last_input.copy_from(input);
         let out_len = self.output_len();
-        let mut out = Matrix::zeros(input.rows(), self.out_width());
+        out.reset(input.rows(), self.out_width());
         for r in 0..input.rows() {
             let x = input.row(r);
             let o = out.row_mut(r);
@@ -103,7 +109,6 @@ impl Layer for Conv1d {
                 }
             }
         }
-        out
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -206,13 +211,24 @@ impl Layer for Conv1d {
 pub struct ConvBranch {
     conv: Conv1d,
     passthrough: usize,
+    /// Forward-pass scratch (split input, pass-through tail, conv output);
+    /// hoisted so `forward_into` reuses the allocations every call.
+    conv_in: Matrix,
+    rest: Matrix,
+    conv_out: Matrix,
 }
 
 impl ConvBranch {
     /// Wraps `conv`, passing `passthrough` extra trailing features around it.
     #[must_use]
     pub fn new(conv: Conv1d, passthrough: usize) -> ConvBranch {
-        ConvBranch { conv, passthrough }
+        ConvBranch {
+            conv,
+            passthrough,
+            conv_in: Matrix::default(),
+            rest: Matrix::default(),
+            conv_out: Matrix::default(),
+        }
     }
 
     /// Total expected input width.
@@ -230,10 +246,16 @@ impl ConvBranch {
 
 impl Layer for ConvBranch {
     fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
         assert_eq!(input.cols(), self.input_width(), "branch input width mismatch");
-        let (conv_in, rest) = input.hsplit(self.conv.input_width());
-        let conv_out = self.conv.forward(&conv_in);
-        conv_out.hconcat(&rest)
+        input.hsplit_into(self.conv.input_width(), &mut self.conv_in, &mut self.rest);
+        self.conv.forward_into(&self.conv_in, &mut self.conv_out);
+        self.conv_out.hconcat_into(&self.rest, out);
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {

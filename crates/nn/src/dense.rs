@@ -52,11 +52,16 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Matrix) -> Matrix {
-        assert_eq!(input.cols(), self.in_dim, "dense input width mismatch");
-        self.last_input = input.clone();
-        let mut out = input.matmul(&self.weights);
-        out.add_row_in_place(&self.bias);
+        let mut out = Matrix::default();
+        self.forward_into(input, &mut out);
         out
+    }
+
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        assert_eq!(input.cols(), self.in_dim, "dense input width mismatch");
+        self.last_input.copy_from(input);
+        input.matmul_into(&self.weights, out);
+        out.add_row_in_place(&self.bias);
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {

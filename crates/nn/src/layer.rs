@@ -12,6 +12,14 @@ pub trait Layer: Send {
     /// Forward pass over a batch (rows = samples).
     fn forward(&mut self, input: &Matrix) -> Matrix;
 
+    /// Forward pass into a caller-owned output buffer, reusing its
+    /// allocation; semantically identical to [`Layer::forward`] (same
+    /// cached state for the backward pass, bit-identical output). Layers
+    /// on the decision hot path override the defaulted allocating form.
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        *out = self.forward(input);
+    }
+
     /// Backward pass; must follow a `forward` with the matching batch.
     fn backward(&mut self, grad_output: &Matrix) -> Matrix;
 
@@ -56,8 +64,14 @@ impl Relu {
 
 impl Layer for Relu {
     fn forward(&mut self, input: &Matrix) -> Matrix {
-        self.mask = input.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-        input.map(|v| v.max(0.0))
+        let mut out = Matrix::default();
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        input.map_into(|v| if v > 0.0 { 1.0 } else { 0.0 }, &mut self.mask);
+        input.map_into(|v| v.max(0.0), out);
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -108,8 +122,14 @@ impl Tanh {
 
 impl Layer for Tanh {
     fn forward(&mut self, input: &Matrix) -> Matrix {
-        self.output = input.map(f64::tanh);
-        self.output.clone()
+        let mut out = Matrix::default();
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        input.map_into(f64::tanh, &mut self.output);
+        out.copy_from(&self.output);
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {

@@ -63,6 +63,6 @@ pub use conv::{Conv1d, ConvBranch};
 pub use dense::Dense;
 pub use layer::{Layer, Relu, Tanh};
 pub use matrix::Matrix;
-pub use network::Network;
+pub use network::{ForwardScratch, Network};
 pub use ops::{log_softmax, mse_grad, mse_loss, policy_gradient_loss, softmax, PolicyGrad};
 pub use optimizer::{clip_grad_norm, Adam, Momentum, Optimizer, Sgd};

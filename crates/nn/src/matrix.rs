@@ -1,12 +1,29 @@
 //! A small row-major `f64` matrix.
 //!
-//! Scoped to what the layers need: matmul (plain ikj loop order, which the
-//! compiler vectorizes well at these sizes), transpose-free variants for the
-//! backward passes, and element-wise helpers. Networks in this system are
-//! hundreds of units wide at most, so a hand-rolled kernel comfortably beats
-//! the overhead of pulling in a BLAS.
+//! Scoped to what the layers need: matmul (cache-blocked ikj loop order,
+//! which the compiler vectorizes well at these sizes), transpose-free
+//! variants for the backward passes, and element-wise helpers. Networks in
+//! this system are hundreds of units wide at most, so a hand-rolled kernel
+//! comfortably beats the overhead of pulling in a BLAS.
+//!
+//! Every product kernel comes in an output-buffer `_into` form
+//! ([`Matrix::matmul_into`], [`Matrix::t_matmul_into`],
+//! [`Matrix::matmul_t_into`]) that reuses the destination's backing
+//! allocation; the owned-result methods are thin wrappers over these, so
+//! training and inference share one kernel. The blocked kernels keep the
+//! reduction index ascending per output element and preserve the `a == 0.0`
+//! skip, so their results are bit-identical to the straightforward scalar
+//! loops (asserted by property tests below, including ragged tail blocks).
 
 use serde::{Deserialize, Serialize};
+
+/// Row-block size of the blocked kernels (output rows per tile).
+const BLOCK_ROWS: usize = 32;
+
+/// Reduction-block size of the blocked kernels: a `BLOCK_ROWS x BLOCK_RED`
+/// tile of the left operand and the matching right-operand panel stay
+/// cache-resident across the inner axpy sweeps.
+const BLOCK_RED: usize = 64;
 
 /// A dense row-major matrix of `f64`.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -105,71 +122,136 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes to `rows x cols` and zero-fills, reusing the backing
+    /// allocation when its capacity suffices. The `_into` kernels call this
+    /// on their destination, so a hoisted scratch matrix allocates once and
+    /// is reused every decision day.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Becomes a copy of `src`, reusing the backing allocation when its
+    /// capacity suffices.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// `self @ other` (`m x k` times `k x n`).
     #[must_use]
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self @ other` into `out`, reusing `out`'s allocation.
+    ///
+    /// Cache-blocked over output rows and the reduction index; per output
+    /// element the reduction runs in ascending order with the `a == 0.0`
+    /// skip, so the result is bit-identical to the plain ikj scalar loop.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        out.reset(m, n);
+        for ib in (0..m).step_by(BLOCK_ROWS) {
+            let i_end = (ib + BLOCK_ROWS).min(m);
+            for pb in (0..k).step_by(BLOCK_RED) {
+                let p_end = (pb + BLOCK_RED).min(k);
+                for i in ib..i_end {
+                    let a_row = &self.data[i * k + pb..i * k + p_end];
+                    let out_row = &mut out.data[i * n..(i + 1) * n];
+                    for (off, &a) in a_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let p = pb + off;
+                        let b_row = &other.data[p * n..(p + 1) * n];
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
         }
-        out
     }
 
     /// `self^T @ other` without materializing the transpose
     /// (`m x k`^T times `m x n` -> `k x n`); used for weight gradients.
     #[must_use]
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.t_matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self^T @ other` into `out`, reusing `out`'s allocation.
+    ///
+    /// Blocked over output rows (the left operand's columns); the reduction
+    /// over input rows stays ascending per output element with the
+    /// `a == 0.0` skip, so the result is bit-identical to the scalar loop.
+    pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(k, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let b_row = &other.data[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        out.reset(k, n);
+        for pb in (0..k).step_by(BLOCK_ROWS) {
+            let p_end = (pb + BLOCK_ROWS).min(k);
+            for i in 0..m {
+                let a_row = &self.data[i * k + pb..i * k + p_end];
+                let b_row = &other.data[i * n..(i + 1) * n];
+                for (off, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let p = pb + off;
+                    let out_row = &mut out.data[p * n..(p + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
-        out
     }
 
     /// `self @ other^T` without materializing the transpose
     /// (`m x k` times `n x k`^T -> `m x n`); used for input gradients.
     #[must_use]
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// `self @ other^T` into `out`, reusing `out`'s allocation.
+    ///
+    /// Blocked over output columns so a panel of `other` rows stays
+    /// cache-resident across the row sweep; each output element is one
+    /// contiguous dot product in ascending reduction order, bit-identical
+    /// to the scalar loop.
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        out.reset(m, n);
+        for jb in (0..n).step_by(BLOCK_ROWS) {
+            let j_end = (jb + BLOCK_ROWS).min(n);
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let out_row = &mut out.data[i * n + jb..i * n + j_end];
+                for (o, j) in out_row.iter_mut().zip(jb..j_end) {
+                    let b_row = &other.data[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
                 }
-                *o = acc;
             }
         }
-        out
     }
 
     /// The transpose.
@@ -208,6 +290,14 @@ impl Matrix {
         Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
+    /// Element-wise map into `out`, reusing `out`'s allocation.
+    pub fn map_into(&self, f: impl Fn(f64) -> f64, out: &mut Matrix) {
+        out.reset(self.rows, self.cols);
+        for (o, &v) in out.data.iter_mut().zip(&self.data) {
+            *o = f(v);
+        }
+    }
+
     /// Element-wise product (Hadamard). Panics on shape mismatch.
     #[must_use]
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
@@ -232,27 +322,42 @@ impl Matrix {
     /// match.
     #[must_use]
     pub fn hconcat(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.hconcat_into(other, &mut out);
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]` into `out`, reusing
+    /// `out`'s allocation. Panics unless row counts match.
+    pub fn hconcat_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "hconcat row mismatch");
         let cols = self.cols + other.cols;
-        let mut data = Vec::with_capacity(self.rows * cols);
+        out.reset(self.rows, cols);
         for r in 0..self.rows {
-            data.extend_from_slice(self.row(r));
-            data.extend_from_slice(other.row(r));
+            out.data[r * cols..r * cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * cols + self.cols..(r + 1) * cols].copy_from_slice(other.row(r));
         }
-        Matrix { rows: self.rows, cols, data }
+    }
+
+    /// Splits columns at `at` into `(left, right)` output buffers, reusing
+    /// their allocations. Panics if `at > cols`.
+    pub fn hsplit_into(&self, at: usize, left: &mut Matrix, right: &mut Matrix) {
+        assert!(at <= self.cols, "split point beyond columns");
+        left.reset(self.rows, at);
+        right.reset(self.rows, self.cols - at);
+        for r in 0..self.rows {
+            left.row_mut(r).copy_from_slice(&self.row(r)[..at]);
+            right.row_mut(r).copy_from_slice(&self.row(r)[at..]);
+        }
     }
 
     /// Splits columns at `at`: returns (`[.., :at]`, `[.., at:]`).
     /// Panics if `at > cols`.
     #[must_use]
     pub fn hsplit(&self, at: usize) -> (Matrix, Matrix) {
-        assert!(at <= self.cols, "split point beyond columns");
-        let mut left = Matrix::zeros(self.rows, at);
-        let mut right = Matrix::zeros(self.rows, self.cols - at);
-        for r in 0..self.rows {
-            left.row_mut(r).copy_from_slice(&self.row(r)[..at]);
-            right.row_mut(r).copy_from_slice(&self.row(r)[at..]);
-        }
+        let mut left = Matrix::default();
+        let mut right = Matrix::default();
+        self.hsplit_into(at, &mut left, &mut right);
         (left, right)
     }
 
@@ -381,7 +486,166 @@ mod tests {
         assert_eq!(a.norm(), 5.0);
     }
 
+    /// The straightforward scalar ikj matmul the blocked kernel must match
+    /// bit-for-bit (same ascending reduction order, same zero skip).
+    fn scalar_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            for p in 0..k {
+                let av = a.get(i, p);
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.set(i, j, out.get(i, j) + av * b.get(p, j));
+                }
+            }
+        }
+        out
+    }
+
+    fn scalar_t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = Matrix::zeros(k, n);
+        for i in 0..m {
+            for p in 0..k {
+                let av = a.get(i, p);
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.set(p, j, out.get(p, j) + av * b.get(i, j));
+                }
+            }
+        }
+        out
+    }
+
+    fn scalar_matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k, n) = (a.rows(), a.cols(), b.rows());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.get(i, p) * b.get(j, p);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// A deterministic pseudo-random matrix with a sprinkling of exact
+    /// zeros, so the zero-skip path is exercised.
+    fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let bits = next();
+                let v = if bits % 7 == 0 {
+                    0.0
+                } else {
+                    ((bits >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+                };
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_kernels_match_scalar_across_block_boundaries() {
+        // Shapes straddle the 32/64 block edges: exact multiples, one-off
+        // ragged tails, and degenerate single-row/column cases.
+        let shapes =
+            [(1, 1, 1), (32, 64, 32), (33, 65, 31), (5, 130, 3), (64, 64, 64), (70, 1, 70)];
+        for &(m, k, n) in &shapes {
+            let a = filled(m, k, (m * 1000 + k) as u64);
+            let b = filled(k, n, (k * 1000 + n) as u64);
+            assert_eq!(a.matmul(&b), scalar_matmul(&a, &b), "matmul {m}x{k}x{n}");
+            let bt = filled(m, n, (m + n) as u64);
+            assert_eq!(a.t_matmul(&bt), scalar_t_matmul(&a, &bt), "t_matmul {m}x{k}x{n}");
+            let bn = filled(n, k, (n * 31 + k) as u64);
+            assert_eq!(a.matmul_t(&bn), scalar_matmul_t(&a, &bn), "matmul_t {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn into_kernels_reuse_dirty_buffers() {
+        let a = filled(9, 40, 7);
+        let b = filled(40, 11, 8);
+        let mut out = filled(70, 3, 9); // wrong shape, nonzero garbage
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        a.t_matmul_into(&filled(9, 11, 10), &mut out);
+        assert_eq!(out, a.t_matmul(&filled(9, 11, 10)));
+        a.matmul_t_into(&filled(5, 40, 11), &mut out);
+        assert_eq!(out, a.matmul_t(&filled(5, 40, 11)));
+    }
+
+    #[test]
+    fn reset_and_copy_from_reuse_allocations() {
+        let mut m = Matrix::zeros(4, 4);
+        m.set(0, 0, 3.0);
+        m.reset(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        let src = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        m.copy_from(&src);
+        assert_eq!(m, src);
+    }
+
+    #[test]
+    fn elementwise_into_variants_match_owned() {
+        let a = filled(3, 5, 21);
+        let b = filled(3, 4, 22);
+        let mut out = Matrix::default();
+        a.map_into(|v| v.max(0.0), &mut out);
+        assert_eq!(out, a.map(|v| v.max(0.0)));
+        a.hconcat_into(&b, &mut out);
+        assert_eq!(out, a.hconcat(&b));
+        let (mut l, mut r) = (Matrix::default(), Matrix::default());
+        out.hsplit_into(5, &mut l, &mut r);
+        assert_eq!((l, r), (a, b));
+    }
+
     proptest! {
+        #[test]
+        fn blocked_matmul_bit_identical_to_scalar(
+            m in 1usize..40, k in 1usize..80, n in 1usize..40, seed in 0u64..1000,
+        ) {
+            let a = filled(m, k, seed);
+            let b = filled(k, n, seed.wrapping_add(1));
+            prop_assert_eq!(a.matmul(&b), scalar_matmul(&a, &b));
+        }
+
+        #[test]
+        fn blocked_t_matmul_bit_identical_to_scalar(
+            m in 1usize..40, k in 1usize..80, n in 1usize..40, seed in 0u64..1000,
+        ) {
+            let a = filled(m, k, seed);
+            let b = filled(m, n, seed.wrapping_add(2));
+            prop_assert_eq!(a.t_matmul(&b), scalar_t_matmul(&a, &b));
+        }
+
+        #[test]
+        fn blocked_matmul_t_bit_identical_to_scalar(
+            m in 1usize..40, k in 1usize..80, n in 1usize..40, seed in 0u64..1000,
+        ) {
+            let a = filled(m, k, seed);
+            let b = filled(n, k, seed.wrapping_add(3));
+            prop_assert_eq!(a.matmul_t(&b), scalar_matmul_t(&a, &b));
+        }
+
         #[test]
         fn matmul_associates_with_vector(
             a_vals in proptest::collection::vec(-3.0f64..3.0, 6),

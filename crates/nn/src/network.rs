@@ -28,12 +28,31 @@ impl Network {
     }
 
     /// Forward pass over a batch.
+    ///
+    /// Thin allocating wrapper over [`Network::forward_into`]; both paths
+    /// run the same layer kernels, so their outputs are bit-identical.
     pub fn forward(&mut self, input: &Matrix) -> Matrix {
-        let mut current = input.clone();
+        let mut scratch = ForwardScratch::default();
+        self.forward_into(input, &mut scratch);
+        scratch.a
+    }
+
+    /// Forward pass into caller-owned scratch, reusing its allocations; the
+    /// returned reference borrows the scratch's output buffer. A scratch
+    /// hoisted outside the decision loop makes repeated forwards
+    /// allocation-free once the buffers reach steady-state capacity.
+    pub fn forward_into<'s>(
+        &mut self,
+        input: &Matrix,
+        scratch: &'s mut ForwardScratch,
+    ) -> &'s Matrix {
+        scratch.a.copy_from(input);
+        let ForwardScratch { a, b } = scratch;
         for layer in &mut self.layers {
-            current = layer.forward(&current);
+            layer.forward_into(a, b);
+            std::mem::swap(a, b);
         }
-        current
+        &scratch.a
     }
 
     /// Backward pass from the loss gradient at the output; returns the
@@ -56,10 +75,17 @@ impl Network {
     #[must_use]
     pub fn param_vector(&self) -> Vec<f64> {
         let mut flat = Vec::with_capacity(self.param_count());
-        for layer in &self.layers {
-            flat.extend(layer.params());
-        }
+        self.param_vector_into(&mut flat);
         flat
+    }
+
+    /// Writes all parameters, concatenated in layer order, into `out`
+    /// (cleared first), reusing its allocation. The optimizer's pull path.
+    pub fn param_vector_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        for layer in &self.layers {
+            out.extend(layer.params());
+        }
     }
 
     /// Overwrites all parameters from a flat vector.
@@ -76,10 +102,18 @@ impl Network {
     #[must_use]
     pub fn grad_vector(&self) -> Vec<f64> {
         let mut flat = Vec::with_capacity(self.param_count());
-        for layer in &self.layers {
-            flat.extend(layer.grads());
-        }
+        self.grad_vector_into(&mut flat);
         flat
+    }
+
+    /// Writes all accumulated gradients, concatenated in layer order, into
+    /// `out` (cleared first), reusing its allocation. The optimizer's push
+    /// path.
+    pub fn grad_vector_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        for layer in &self.layers {
+            out.extend(layer.grads());
+        }
     }
 
     /// Clears accumulated gradients in every layer.
@@ -99,6 +133,32 @@ impl Network {
     #[must_use]
     pub fn layer_names(&self) -> Vec<&'static str> {
         self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+/// Reusable double-buffered scratch for [`Network::forward_into`].
+///
+/// Holds the activations ping-ponged between layers; after a forward pass
+/// [`ForwardScratch::output`] is the network output. One scratch serves one
+/// network at a time but may be shared across networks of any widths — the
+/// buffers reshape (and grow monotonically) as needed.
+#[derive(Clone, Debug, Default)]
+pub struct ForwardScratch {
+    a: Matrix,
+    b: Matrix,
+}
+
+impl ForwardScratch {
+    /// A fresh scratch with empty buffers.
+    #[must_use]
+    pub fn new() -> ForwardScratch {
+        ForwardScratch::default()
+    }
+
+    /// The output of the most recent [`Network::forward_into`] pass.
+    #[must_use]
+    pub fn output(&self) -> &Matrix {
+        &self.a
     }
 }
 
@@ -260,6 +320,43 @@ mod tests {
             net.set_params(&p);
         }
         assert!(last < 0.01 * first.unwrap(), "loss {last} from {:?}", first);
+    }
+
+    #[test]
+    fn forward_into_bit_identical_to_forward() {
+        // The paper's conv-branch topology in miniature: every layer kind
+        // exercises its forward_into override through a reused scratch.
+        let conv = Conv1d::new(1, 6, 2, 3, 1, 9);
+        let mut net = Network::new(vec![
+            Box::new(ConvBranch::new(conv, 2)),
+            Box::new(Tanh::new()),
+            Box::new(Dense::new(2 * 4 + 2, 4, 10)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(4, 3, 11)),
+        ]);
+        let mut scratch = ForwardScratch::new();
+        for trial in 0..3 {
+            let vals: Vec<f64> =
+                (0..8).map(|i| f64::from(i - 3) * 0.3 + f64::from(trial)).collect();
+            let x = Matrix::from_rows(vec![vals.clone(), vals.iter().map(|v| -v).collect()]);
+            let owned = net.forward(&x);
+            let into = net.forward_into(&x, &mut scratch);
+            assert_eq!(into, &owned, "trial {trial}");
+            assert_eq!(scratch.output(), &owned);
+        }
+    }
+
+    #[test]
+    fn param_and_grad_vector_into_match_owned() {
+        let mut net = mlp();
+        let x = Matrix::row_vector(&[1.0, -1.0, 0.5]);
+        let y = net.forward(&x);
+        net.backward(&y);
+        let mut buf = vec![99.0; 3]; // dirty, wrong-length buffer
+        net.param_vector_into(&mut buf);
+        assert_eq!(buf, net.param_vector());
+        net.grad_vector_into(&mut buf);
+        assert_eq!(buf, net.grad_vector());
     }
 
     #[test]

@@ -46,24 +46,43 @@ impl ParamStore {
     /// Copies of the current actor and critic parameters.
     #[must_use]
     pub fn snapshot(&self) -> (Vec<f64>, Vec<f64>) {
-        (self.actor.lock().params.clone(), self.critic.lock().params.clone())
+        let (mut actor, mut critic) = (Vec::new(), Vec::new());
+        self.snapshot_into(&mut actor, &mut critic);
+        (actor, critic)
+    }
+
+    /// Copies the current actor and critic parameters into caller-owned
+    /// buffers (cleared first), reusing their allocations; the worker loop's
+    /// per-update pull path.
+    pub fn snapshot_into(&self, actor: &mut Vec<f64>, critic: &mut Vec<f64>) {
+        actor.clear();
+        actor.extend_from_slice(&self.actor.lock().params);
+        critic.clear();
+        critic.extend_from_slice(&self.critic.lock().params);
     }
 
     /// Applies one asynchronous update: clips both gradients to the
     /// configured norm, steps both optimizers, bumps the update counter, and
     /// returns the new counter value.
     pub fn apply(&self, mut actor_grads: Vec<f64>, mut critic_grads: Vec<f64>) -> u64 {
-        clip_grad_norm(&mut actor_grads, self.max_grad_norm);
-        clip_grad_norm(&mut critic_grads, self.max_grad_norm);
+        self.apply_grads(&mut actor_grads, &mut critic_grads)
+    }
+
+    /// [`ParamStore::apply`] over caller-owned gradient buffers, clipping in
+    /// place; the worker loop's per-update push path, allocation-free on the
+    /// caller's side.
+    pub fn apply_grads(&self, actor_grads: &mut [f64], critic_grads: &mut [f64]) -> u64 {
+        clip_grad_norm(actor_grads, self.max_grad_norm);
+        clip_grad_norm(critic_grads, self.max_grad_norm);
         {
             let mut slot = self.actor.lock();
             let Slot { params, optimizer } = &mut *slot;
-            optimizer.step(params, &actor_grads);
+            optimizer.step(params, actor_grads);
         }
         {
             let mut slot = self.critic.lock();
             let Slot { params, optimizer } = &mut *slot;
-            optimizer.step(params, &critic_grads);
+            optimizer.step(params, critic_grads);
         }
         self.updates.fetch_add(1, Ordering::Relaxed) + 1
     }

@@ -66,11 +66,12 @@ fn decide_batch_matches_slotwise_decide_one() {
     // A strided sub-fleet batch, as a shard would present it.
     let batch: Vec<usize> = (0..trace.len()).step_by(3).collect();
     let current = varied_tiers(batch.len());
+    let fleet = FleetState::from_trace(&trace);
     for policy in &all_policies(&trace, &model) {
         for day in [0usize, 1, 7, trace.days - 1] {
             let ctx = DecisionContext {
                 day,
-                trace: &trace,
+                fleet: &fleet,
                 model: &model,
                 batch: &batch,
                 current: &current,
@@ -106,11 +107,12 @@ fn decisions_are_independent_of_batch_composition() {
     let (trace, model) = setup();
     let full: Vec<usize> = (0..trace.len()).collect();
     let current = varied_tiers(trace.len());
+    let columns = FleetState::from_trace(&trace);
     for policy in &all_policies(&trace, &model) {
         for day in [1usize, 5, 10] {
             let ctx = DecisionContext {
                 day,
-                trace: &trace,
+                fleet: &columns,
                 model: &model,
                 batch: &full,
                 current: &current,
@@ -121,7 +123,7 @@ fn decisions_are_independent_of_batch_composition() {
                 let one_current = [current[ix]];
                 let one_ctx = DecisionContext {
                     day,
-                    trace: &trace,
+                    fleet: &columns,
                     model: &model,
                     batch: &one_batch,
                     current: &one_current,
@@ -143,8 +145,9 @@ fn empty_batch_is_legal() {
     let (trace, model) = setup();
     let batch: [usize; 0] = [];
     let current: [Tier; 0] = [];
+    let fleet = FleetState::from_trace(&trace);
     let ctx =
-        DecisionContext { day: 0, trace: &trace, model: &model, batch: &batch, current: &current };
+        DecisionContext { day: 0, fleet: &fleet, model: &model, batch: &batch, current: &current };
     for policy in &mut all_policies(&trace, &model) {
         assert!(policy.decide_batch(&ctx).is_empty(), "{}", policy.name());
     }

@@ -101,6 +101,7 @@ fn merge_is_independent_of_shard_execution_order() {
     // run exactly, proving the merge never leans on execution order.
     let (trace, model) = setup();
     let cfg = config(4);
+    let fleet = FleetState::from_trace(&trace);
     let shards = partition(&trace, cfg.seed, cfg.workers);
     assert_eq!(shards.len(), 4);
 
@@ -108,7 +109,7 @@ fn merge_is_independent_of_shard_execution_order() {
     // A fixed permutation of {0,1,2,3} with no fixed points.
     for &s in &[2usize, 0, 3, 1] {
         let mut policy = GreedyPolicy;
-        runs[s] = Some(run_shard(&trace, &model, &mut policy, &cfg, &shards[s]));
+        runs[s] = Some(run_shard(&fleet, &model, &mut policy, &cfg, &shards[s]));
     }
     let ordered: Vec<ShardRun> = runs.into_iter().map(|r| r.expect("all shards ran")).collect();
     let merged = merge_shards("greedy", trace.days, trace.len(), &ordered);
@@ -124,14 +125,34 @@ fn money_ledgers_survive_permuted_merge_order() {
     // (only the shard_decision_millis ordering may differ).
     let (trace, model) = setup();
     let cfg = config(4);
+    let fleet = FleetState::from_trace(&trace);
     let shards = partition(&trace, cfg.seed, cfg.workers);
     let runs: Vec<ShardRun> =
-        shards.iter().map(|s| run_shard(&trace, &model, &mut GreedyPolicy, &cfg, s)).collect();
+        shards.iter().map(|s| run_shard(&fleet, &model, &mut GreedyPolicy, &cfg, s)).collect();
 
     let forward = merge_shards("greedy", trace.days, trace.len(), &runs);
     let reversed: Vec<ShardRun> = runs.iter().rev().cloned().collect();
     let backward = merge_shards("greedy", trace.days, trace.len(), &reversed);
     assert_bit_identical(&forward, &backward, "reversed merge order");
+}
+
+#[test]
+fn columnar_fleet_state_preserves_ledgers_across_worker_counts() {
+    // The columnar FleetState is the only fleet state the engine reads.
+    // Hand-running the shard loop over one shared FleetState at workers=1
+    // and 4 must reproduce the end-to-end `simulate` ledgers exactly —
+    // the columnar layout cannot perturb a single Money microdollar.
+    let (trace, model) = setup();
+    let fleet = FleetState::from_trace(&trace);
+    for workers in [1usize, 4] {
+        let cfg = config(workers);
+        let shards = partition(&trace, cfg.seed, workers);
+        let runs: Vec<ShardRun> =
+            shards.iter().map(|s| run_shard(&fleet, &model, &mut GreedyPolicy, &cfg, s)).collect();
+        let merged = merge_shards("greedy", trace.days, trace.len(), &runs);
+        let direct = simulate(&trace, &model, &mut GreedyPolicy, &cfg);
+        assert_bit_identical(&merged, &direct, &format!("columnar workers={workers}"));
+    }
 }
 
 #[test]
