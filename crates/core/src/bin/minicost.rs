@@ -17,6 +17,7 @@ use minicost::prelude::*;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use store::{JobId, Journal, MigrateConfig, MigrationJob, Migrator, PoolBuild, StoragePool};
 
 /// A CLI failure carrying the process exit code. `serve` maps its error
 /// taxonomy onto distinct codes (see [`USAGE`]); every other command exits
@@ -40,7 +41,9 @@ impl CliError {
 
 /// The `serve` exit-code taxonomy: 2 for configuration errors, 3 for
 /// unrecoverable snapshot state (corrupt beyond rotation, or incompatible
-/// with the run), 4 for faults that outlived the retry budget, 1 otherwise.
+/// with the run), 4 for faults that outlived the retry budget, 5 for an
+/// unrecoverable object-store state (journal/pool disagreement), 6 for an
+/// injected crash mid-migration (restart to recover), 1 otherwise.
 fn serve_exit_code(e: &ServeError) -> u8 {
     match e {
         ServeError::Config(_) => 2,
@@ -48,6 +51,8 @@ fn serve_exit_code(e: &ServeError) -> u8 {
         | ServeError::SnapshotMismatch(_)
         | ServeError::Unrecoverable(_) => 3,
         ServeError::RetriesExhausted { .. } => 4,
+        ServeError::Pool(_) => 5,
+        ServeError::InjectedCrash(_) => 6,
         ServeError::Stream(_) => 1,
     }
 }
@@ -96,6 +101,8 @@ const USAGE: &str = "usage:
                     [--decide-every N] [--seed S] [--max-tracked K] \\
                     [--checkpoint snap.json] [--checkpoint-every E] \\
                     [--checkpoint-keep R] [--max-days D] [--verify-batch true] \\
+                    [--store mem | --store-dir DIR] [--migrate-bw MIBS] \\
+                    [--migrate-inflight N] \\
                     [--chaos-seed C | --fault-plan plan.json] \\
                     [--degraded-policy hot|cold|greedy] [--pricing ...]
 
@@ -107,10 +114,17 @@ serve chaos/recovery:
   --checkpoint-keep R   rotated predecessors kept for restore fallback
                         (default 2); incidents are summarized on stderr
 
+serve object store:
+  --store mem           attach an in-memory tiered pool (cannot resume)
+  --store-dir DIR       attach a directory-backed pool + migration journal;
+                        torn migrations recover on restart
+  --migrate-bw MIBS     cap modeled migration bandwidth (MiB/s, 0 = device)
+  --migrate-inflight N  virtual migration lanes draining the queue (default 4)
+
 serve exit codes:
-  0 success            2 configuration error
-  1 other failure      3 unrecoverable snapshot state
-                       4 fault budget exhausted (retries spent)";
+  0 success            2 configuration error      5 unrecoverable pool error
+  1 other failure      3 unrecoverable snapshot   6 injected crash mid-migration
+                       4 fault budget exhausted     (restart to recover)";
 
 type Flags = HashMap<String, String>;
 
@@ -274,6 +288,35 @@ fn serve_cmd(flags: &Flags) -> Result<(), CliError> {
             v.parse::<usize>().map_err(|e| CliError::config(format!("--max-days {v:?}: {e}")))?,
         ),
     };
+    // Object-store attachment: `--store mem` for a volatile pool,
+    // `--store-dir` for a durable one whose journal survives kills.
+    let store_build = match (flags.get("store"), flags.get("store-dir")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::config(
+                "--store and --store-dir are mutually exclusive".to_owned(),
+            ))
+        }
+        (Some(v), None) if v == "mem" => Some(PoolBuild::Memory),
+        (Some(v), None) => {
+            return Err(CliError::config(format!(
+                "unknown --store {v:?} (mem; use --store-dir DIR for a durable pool)"
+            )))
+        }
+        (None, Some(dir)) => Some(PoolBuild::Dir(PathBuf::from(dir))),
+        (None, None) => None,
+    };
+    let store = match store_build {
+        Some(build) => Some(StoreConfig {
+            build,
+            migrate: MigrateConfig {
+                bw_cap_mib_s: flag(flags, "migrate-bw", 0u64).map_err(CliError::config)?,
+                inflight: flag(flags, "migrate-inflight", 4usize).map_err(CliError::config)?,
+                ..MigrateConfig::default()
+            },
+        }),
+        None => None,
+    };
+
     let cfg = ServeConfig {
         decide_every,
         seed,
@@ -283,6 +326,7 @@ fn serve_cmd(flags: &Flags) -> Result<(), CliError> {
         max_days,
         checkpoint_keep: flag(flags, "checkpoint-keep", ServeConfig::default().checkpoint_keep)
             .map_err(CliError::config)?,
+        store,
         ..ServeConfig::default()
     };
 
@@ -296,7 +340,14 @@ fn serve_cmd(flags: &Flags) -> Result<(), CliError> {
         }
         (Some(path), None) => Some(FaultPlan::load(Path::new(path)).map_err(CliError::config)?),
         (None, Some(_)) => {
-            Some(FaultPlan::chaos(flag(flags, "chaos-seed", 0u64).map_err(CliError::config)?))
+            let chaos_seed = flag(flags, "chaos-seed", 0u64).map_err(CliError::config)?;
+            // With a store attached, the shorthand also arms the retryable
+            // vdev sites (still under the recoverable fault budget).
+            Some(if cfg.store.is_some() {
+                FaultPlan::store_chaos(chaos_seed)
+            } else {
+                FaultPlan::chaos(chaos_seed)
+            })
         }
         (None, None) => None,
     };
@@ -334,6 +385,20 @@ fn serve_cmd(flags: &Flags) -> Result<(), CliError> {
         report.result.tier_changes,
         report.result.total_decision_millis(),
     );
+    if let Some(s) = &report.store {
+        println!(
+            "store: {} objects | jobs: {} committed, {} skipped, {} pinned, {} rolled back, \
+             {} replayed | billed == committed ({} bytes) | {} virtual ms migrating",
+            s.objects,
+            s.jobs_committed,
+            s.jobs_skipped,
+            s.jobs_pinned,
+            s.jobs_rolled_back,
+            s.jobs_replayed,
+            s.committed_bytes,
+            s.migration_ms,
+        );
+    }
 
     if flag(flags, "verify-batch", false).map_err(CliError::config)? {
         let workers = flag(flags, "workers", default_workers()).map_err(CliError::config)?;
@@ -378,15 +443,39 @@ struct BenchRun {
     peak_rss_kb: Option<u64>,
 }
 
+/// One measured migration-pipeline run: a full batch of tier changes
+/// drained through [`Migrator::run_batch`] at one throttle setting.
+#[derive(serde::Serialize)]
+struct MigrateBenchRun {
+    /// `--migrate-bw` equivalent (0 = device speed).
+    bw_cap_mib_s: u64,
+    /// `--migrate-inflight` equivalent.
+    inflight: usize,
+    /// Jobs in the batch.
+    jobs: usize,
+    /// Wall-clock seconds to drain the batch.
+    seconds: f64,
+    /// Wall-clock jobs/second.
+    jobs_per_sec: f64,
+    /// Wall-clock logical bytes/second.
+    bytes_per_sec: f64,
+    /// Virtual ms the throttle model charged the batch.
+    virtual_ms: u64,
+    /// Modeled throughput: logical MiB per virtual second.
+    mib_per_virtual_sec: f64,
+}
+
 /// The `BENCH_hotpath.json` artifact: the shared config block (the same
 /// schema the figure binaries' JSON sidecars embed), then one entry per
-/// (policy, workers) cell of the ladder.
+/// (policy, workers) cell of the ladder, then the migration-pipeline
+/// throughput grid.
 #[derive(serde::Serialize)]
 struct BenchDoc {
     name: String,
     config: ConfigBlock,
     quick: bool,
     results: Vec<BenchRun>,
+    migrate: Vec<MigrateBenchRun>,
 }
 
 fn peak_rss_kb() -> Option<u64> {
@@ -492,17 +581,93 @@ fn bench(flags: &Flags) -> Result<(), String> {
         }
     }
 
+    let migrate = bench_migrate(if quick { 2_000 } else { 10_000 })?;
+
     let max_workers = ladder.iter().copied().max().unwrap_or(1);
     let doc = BenchDoc {
         name: "bench_hotpath".to_owned(),
         config: ConfigBlock::new(files, days, seed, max_workers),
         quick,
         results,
+        migrate,
     };
     let body = serde_json::to_string(&doc).map_err(|e| e.to_string())?;
     std::fs::write(out, format!("{body}\n")).map_err(|e| format!("{out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
+}
+
+/// Measures the migration pipeline: one hot→cool batch of `jobs_n`
+/// ~1 MB-logical objects drained through an in-memory pool at each
+/// throttle setting of a small (bandwidth × lanes) grid. Wall-clock rates
+/// report real pipeline overhead (journal, framing, verify); the virtual
+/// columns report what the throttle model charged.
+fn bench_migrate(jobs_n: usize) -> Result<Vec<MigrateBenchRun>, String> {
+    let settings: &[(u64, usize)] = &[(0, 1), (0, 4), (200, 4), (50, 8)];
+    let mut out = Vec::new();
+    println!(
+        "{:<10} {:>9} {:>8} {:>9} {:>11} {:>14} {:>12} {:>14}",
+        "migrate",
+        "bw MiB/s",
+        "lanes",
+        "seconds",
+        "jobs/sec",
+        "bytes/sec",
+        "virtual ms",
+        "MiB/virt-sec"
+    );
+    for &(bw, inflight) in settings {
+        let mut pool = StoragePool::memory();
+        let mut journal = Journal::in_memory();
+        let mut jobs = Vec::with_capacity(jobs_n);
+        let mut logical_total = 0u64;
+        for f in 0..jobs_n as u64 {
+            let logical = 1_000_000 + f * 101;
+            logical_total += logical;
+            pool.put(f, Tier::Hot, logical).map_err(|e| e.to_string())?;
+            jobs.push(MigrationJob {
+                id: JobId { day: 0, file: f, from: Tier::Hot, to: Tier::Cool },
+                logical_bytes: logical,
+            });
+        }
+        let migrator =
+            Migrator::new(MigrateConfig { bw_cap_mib_s: bw, inflight, ..MigrateConfig::default() });
+        let start = std::time::Instant::now();
+        let batch =
+            migrator.run_batch(&mut pool, &mut journal, &jobs).map_err(|e| e.to_string())?;
+        let seconds = start.elapsed().as_secs_f64();
+        if batch.committed_jobs as usize != jobs_n {
+            return Err(format!(
+                "migrate bench: {} of {jobs_n} jobs committed",
+                batch.committed_jobs
+            ));
+        }
+        let entry = MigrateBenchRun {
+            bw_cap_mib_s: bw,
+            inflight,
+            jobs: jobs_n,
+            seconds,
+            jobs_per_sec: jobs_n as f64 / seconds,
+            bytes_per_sec: logical_total as f64 / seconds,
+            virtual_ms: batch.elapsed_ms,
+            mib_per_virtual_sec: logical_total as f64
+                / 1_048_576.0
+                / (batch.elapsed_ms.max(1) as f64 / 1e3),
+        };
+        println!(
+            "{:<10} {:>9} {:>8} {:>9.3} {:>11.0} {:>14.0} {:>12} {:>14.1}",
+            "",
+            entry.bw_cap_mib_s,
+            entry.inflight,
+            entry.seconds,
+            entry.jobs_per_sec,
+            entry.bytes_per_sec,
+            entry.virtual_ms,
+            entry.mib_per_virtual_sec,
+        );
+        out.push(entry);
+    }
+    Ok(out)
 }
 
 fn evaluate(flags: &Flags) -> Result<(), String> {

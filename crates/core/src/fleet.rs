@@ -108,30 +108,41 @@ impl FleetState {
         self.ids[ix]
     }
 
-    /// Size of file `ix`.
+    /// Size of file `ix`. Total: an out-of-range index reads as `0.0`
+    /// rather than panicking on the decision hot path.
     #[must_use]
     pub fn size_gb(&self, ix: usize) -> f64 {
-        self.sizes[ix]
+        self.sizes.get(ix).copied().unwrap_or_default()
     }
 
     /// Full daily read series of file `ix` (contiguous, length
-    /// [`FleetState::days`]).
+    /// [`FleetState::days`]). Total: out of range reads as empty.
     #[must_use]
     pub fn reads(&self, ix: usize) -> &[u64] {
-        &self.reads[ix * self.days..(ix + 1) * self.days]
+        let start = ix.saturating_mul(self.days);
+        self.reads.get(start..start.saturating_add(self.days)).unwrap_or(&[])
     }
 
-    /// Full daily write series of file `ix`.
+    /// Full daily write series of file `ix`. Total: out of range reads as
+    /// empty.
     #[must_use]
     pub fn writes(&self, ix: usize) -> &[u64] {
-        &self.writes[ix * self.days..(ix + 1) * self.days]
+        let start = ix.saturating_mul(self.days);
+        self.writes.get(start..start.saturating_add(self.days)).unwrap_or(&[])
     }
 
-    /// Read/write pair of file `ix` on `day`. Panics when out of range.
+    /// Read/write pair of file `ix` on `day`. Total: out of range reads
+    /// as `(0, 0)`.
     #[must_use]
     pub fn day_counts(&self, ix: usize, day: usize) -> (u64, u64) {
-        assert!(day < self.days, "day beyond horizon");
-        (self.reads[ix * self.days + day], self.writes[ix * self.days + day])
+        if day >= self.days {
+            return (0, 0);
+        }
+        let at = ix.saturating_mul(self.days).saturating_add(day);
+        (
+            self.reads.get(at).copied().unwrap_or_default(),
+            self.writes.get(at).copied().unwrap_or_default(),
+        )
     }
 
     /// A borrowed decision-batch window (see [`FleetView`]).
@@ -175,34 +186,36 @@ impl<'a> FleetView<'a> {
         self.day
     }
 
-    /// Global file index of batch entry `slot`.
+    /// Global file index of batch entry `slot`. Total: an out-of-range
+    /// slot maps to index `usize::MAX`, which every fleet accessor then
+    /// reads as zero values.
     #[must_use]
     pub fn global(&self, slot: usize) -> usize {
-        self.batch[slot]
+        self.batch.get(slot).copied().unwrap_or(usize::MAX)
     }
 
     /// Size of batch entry `slot`.
     #[must_use]
     pub fn size_gb(&self, slot: usize) -> f64 {
-        self.fleet.size_gb(self.batch[slot])
+        self.fleet.size_gb(self.global(slot))
     }
 
     /// Full daily read series of batch entry `slot`.
     #[must_use]
     pub fn reads(&self, slot: usize) -> &'a [u64] {
-        self.fleet.reads(self.batch[slot])
+        self.fleet.reads(self.global(slot))
     }
 
     /// Full daily write series of batch entry `slot`.
     #[must_use]
     pub fn writes(&self, slot: usize) -> &'a [u64] {
-        self.fleet.writes(self.batch[slot])
+        self.fleet.writes(self.global(slot))
     }
 
     /// Read/write pair of batch entry `slot` on the view's day.
     #[must_use]
     pub fn day_counts(&self, slot: usize) -> (u64, u64) {
-        self.fleet.day_counts(self.batch[slot], self.day)
+        self.fleet.day_counts(self.global(slot), self.day)
     }
 }
 

@@ -104,7 +104,7 @@ pub mod prelude {
         SingleTierPolicy,
     };
     pub use crate::predictive::PredictivePolicy;
-    pub use crate::serve::{serve, ServeConfig, ServeError, ServeReport};
+    pub use crate::serve::{serve, ServeConfig, ServeError, ServeReport, StoreConfig, StoreReport};
     pub use crate::sim::{
         default_workers, simulate, SimConfig, SimConfigBuilder, SimConfigError, SimResult,
     };

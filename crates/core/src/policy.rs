@@ -54,34 +54,36 @@ impl<'a> DecisionContext<'a> {
         self.batch.is_empty()
     }
 
-    /// The global fleet index of batch entry `slot`.
+    /// The global fleet index of batch entry `slot`. Total: an
+    /// out-of-range slot maps to index `usize::MAX`, which every fleet
+    /// accessor then reads as zero values.
     #[must_use]
     pub fn global(&self, slot: usize) -> usize {
-        self.batch[slot]
+        self.batch.get(slot).copied().unwrap_or(usize::MAX)
     }
 
     /// Size of batch entry `slot`.
     #[must_use]
     pub fn size_gb(&self, slot: usize) -> f64 {
-        self.fleet.size_gb(self.batch[slot])
+        self.fleet.size_gb(self.global(slot))
     }
 
     /// Full daily read series of batch entry `slot`.
     #[must_use]
     pub fn reads(&self, slot: usize) -> &'a [u64] {
-        self.fleet.reads(self.batch[slot])
+        self.fleet.reads(self.global(slot))
     }
 
     /// Full daily write series of batch entry `slot`.
     #[must_use]
     pub fn writes(&self, slot: usize) -> &'a [u64] {
-        self.fleet.writes(self.batch[slot])
+        self.fleet.writes(self.global(slot))
     }
 
     /// Read/write pair of batch entry `slot` on the decided day.
     #[must_use]
     pub fn day_counts(&self, slot: usize) -> (u64, u64) {
-        self.fleet.day_counts(self.batch[slot], self.day)
+        self.fleet.day_counts(self.global(slot), self.day)
     }
 
     /// The batch as a borrowed [`FleetView`] (the batched-featurization

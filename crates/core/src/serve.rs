@@ -40,14 +40,19 @@ use crate::policy::Policy;
 use crate::sim::SimResult;
 use crate::supervise::{IncidentKind, IncidentLog, SuperviseConfig, Supervisor};
 use pricing::{CostBreakdown, CostLedger, CostModel, FileDay, Money, Tier, TIER_COUNT};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+use store::{
+    logical_bytes, recover, JobId, JobPhase, Journal, MigrateConfig, MigrationEventKind,
+    MigrationJob, Migrator, PoolBuild, StoragePool, TierIo,
+};
 use stream::{
     rotate, rotation_candidates, BoundedConfig, BoundedStats, DayBatch, Event, EventSource,
     ExactStats, FaultyBackend, FaultySource, FsBackend, Snapshot, SnapshotError, StorageBackend,
     TraceSource, SNAPSHOT_VERSION,
 };
-use tracegen::{DiurnalProfile, FileSeries, Trace};
+use tracegen::{DiurnalProfile, Trace};
 
 /// Configuration for one serving run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -78,6 +83,20 @@ pub struct ServeConfig {
     /// through them newest-first when the newest snapshot is corrupt. `0`
     /// disables rotation (saves overwrite in place).
     pub checkpoint_keep: usize,
+    /// Attach a tiered object store: every decided tier change then runs
+    /// through the migration pipeline (copy → verify → commit → delete)
+    /// before it is billed. `None` serves ledgers only, as before.
+    pub store: Option<StoreConfig>,
+}
+
+/// Configuration for the tiered object store attached to a serving run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Where the pool's vdevs (and, for directory pools, the migration
+    /// journal) live. Memory pools cannot resume from a checkpoint.
+    pub build: PoolBuild,
+    /// Migration pipeline tuning (`--migrate-bw`, `--migrate-inflight`).
+    pub migrate: MigrateConfig,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +111,7 @@ impl Default for ServeConfig {
             checkpoint_path: None,
             max_days: None,
             checkpoint_keep: 2,
+            store: None,
         }
     }
 }
@@ -120,6 +140,14 @@ pub enum ServeError {
     /// The event source could not deliver (or read-repair) an in-horizon
     /// day.
     Stream(String),
+    /// The object store is in a state recovery cannot explain, or its
+    /// journal disagrees with the billed tier changes — manual
+    /// intervention required (CLI exit code 5).
+    Pool(String),
+    /// The injected crash fired between a migration's copy and commit.
+    /// The run aborted *before* billing the day; a restart from the last
+    /// checkpoint replays it deterministically (CLI exit code 6).
+    InjectedCrash(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -133,6 +161,8 @@ impl std::fmt::Display for ServeError {
                 write!(f, "{what} still failing after {attempts} retries: {last}")
             }
             ServeError::Stream(msg) => write!(f, "event stream error: {msg}"),
+            ServeError::Pool(msg) => write!(f, "unrecoverable pool error: {msg}"),
+            ServeError::InjectedCrash(msg) => write!(f, "injected crash: {msg}"),
         }
     }
 }
@@ -168,6 +198,36 @@ pub struct ServeReport {
     pub incidents: IncidentLog,
     /// Decision epochs served by the degraded fallback policy.
     pub degraded_epochs: u64,
+    /// Object-store accounting, when [`ServeConfig::store`] was set.
+    pub store: Option<StoreReport>,
+}
+
+/// What the attached object store did over the run. The headline
+/// invariant has already been enforced when this exists:
+/// `committed_bytes == billed_change_bytes`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreReport {
+    /// Objects resident in the pool at shutdown.
+    pub objects: usize,
+    /// Migration jobs committed during this invocation.
+    pub jobs_committed: u64,
+    /// Jobs skipped because the journal already recorded them durable
+    /// (day replay after a restart).
+    pub jobs_skipped: u64,
+    /// Jobs pinned to their source tier after retry exhaustion.
+    pub jobs_pinned: u64,
+    /// Torn migrations rolled back by startup recovery.
+    pub jobs_rolled_back: u64,
+    /// Committed migrations rolled forward by startup recovery.
+    pub jobs_replayed: u64,
+    /// Logical bytes the journal holds commit records for (all time).
+    pub committed_bytes: u64,
+    /// Logical bytes billed as tier changes (all time, snapshot-carried).
+    pub billed_change_bytes: u64,
+    /// Virtual ms spent draining migration batches this invocation.
+    pub migration_ms: u64,
+    /// Per-tier vdev I/O counters for this invocation.
+    pub io: [TierIo; TIER_COUNT],
 }
 
 /// Mutable serving state; mirrors [`Snapshot`] field-for-field.
@@ -179,6 +239,7 @@ struct ServeState {
     per_file: Vec<Money>,
     occupancy: Vec<[usize; TIER_COUNT]>,
     tier_changes: u64,
+    billed_change_bytes: u64,
     decision_millis: Vec<f64>,
     exact: Option<ExactStats>,
     bounded: Option<BoundedStats>,
@@ -207,6 +268,7 @@ impl ServeState {
             per_file: vec![Money::ZERO; fleet],
             occupancy: Vec::new(),
             tier_changes: 0,
+            billed_change_bytes: 0,
             decision_millis: Vec::new(),
             exact: None,
             bounded: None,
@@ -233,6 +295,7 @@ impl ServeState {
             per_file: snap.per_file,
             occupancy: snap.occupancy,
             tier_changes: snap.tier_changes,
+            billed_change_bytes: snap.billed_change_bytes,
             decision_millis: snap.decision_millis,
             exact: snap.exact,
             bounded: snap.bounded,
@@ -254,6 +317,7 @@ impl ServeState {
             per_file: self.per_file.clone(),
             occupancy: self.occupancy.clone(),
             tier_changes: self.tier_changes,
+            billed_change_bytes: self.billed_change_bytes,
             decision_millis: self.decision_millis.clone(),
             exact: self.exact.clone(),
             bounded: self.bounded.clone(),
@@ -342,30 +406,6 @@ fn push_series(reads: &mut Vec<u64>, writes: &mut Vec<u64>, day: usize, s: &Seri
     writes.extend_from_slice(ring_writes);
     reads.push(s.pending.0);
     writes.push(s.pending.1);
-}
-
-/// Rebuilds one file's daily series view from online statistics as an
-/// owned [`FileSeries`].
-#[deprecated(note = "per-file series synthesis is superseded by the columnar \
-            `synthesize_fleet` path; kept only as the equivalence anchor \
-            for its test")]
-#[allow(dead_code)]
-fn synth_series(id: tracegen::FileId, size_gb: f64, day: usize, s: &SeriesStats<'_>) -> FileSeries {
-    let keep = s.ring_reads.len().min(day);
-    let ring_reads = &s.ring_reads[s.ring_reads.len() - keep..];
-    let ring_writes = &s.ring_writes[s.ring_writes.len() - keep..];
-    let filler = day - keep;
-    let mut reads = Vec::with_capacity(day + 1);
-    let mut writes = Vec::with_capacity(day + 1);
-    let ring_sum_r: u64 = ring_reads.iter().sum();
-    let ring_sum_w: u64 = ring_writes.iter().sum();
-    push_filler(&mut reads, s.sum_reads.saturating_sub(ring_sum_r), filler);
-    push_filler(&mut writes, s.sum_writes.saturating_sub(ring_sum_w), filler);
-    reads.extend_from_slice(ring_reads);
-    writes.extend_from_slice(ring_writes);
-    reads.push(s.pending.0);
-    writes.push(s.pending.1);
-    FileSeries { id, size_gb, reads, writes }
 }
 
 /// Rebuilds the fleet-wide synthetic columnar state the policy decides on
@@ -604,6 +644,166 @@ pub fn serve(
     Supervisor::new(SuperviseConfig::default()).run(trace, model, policy, cfg)
 }
 
+/// Live object-store state for one serving run: the pool, its journal,
+/// the migrator, and this invocation's counters.
+struct StoreRuntime {
+    pool: StoragePool,
+    journal: Journal,
+    migrator: Migrator,
+    /// Object key → fleet index, for pinned-job decision overrides.
+    file_ix: BTreeMap<u64, usize>,
+    jobs_committed: u64,
+    jobs_skipped: u64,
+    jobs_pinned: u64,
+    jobs_rolled_back: u64,
+    jobs_replayed: u64,
+    migration_ms: u64,
+}
+
+/// Opens (or builds) the pool and journal, runs crash recovery, then
+/// reconciles the recovered pool against the restored serving state:
+/// missing objects are placed at their snapshot tier; an object resident
+/// *ahead* of the snapshot is legitimate only when a durable journal
+/// record from a to-be-replayed day explains it.
+///
+/// Recovery and initial placement run before the fault injector is
+/// attached — chaos targets the migration pipeline, not the repair path.
+fn setup_store(
+    sup: &mut Supervisor,
+    trace: &Trace,
+    sc: &StoreConfig,
+    state: &ServeState,
+    resumed: bool,
+) -> Result<StoreRuntime, ServeError> {
+    if resumed && sc.build == PoolBuild::Memory {
+        return Err(ServeError::Config(
+            "a memory store cannot resume from a checkpoint; use a directory store".to_owned(),
+        ));
+    }
+    let mut pool = StoragePool::build(&sc.build).map_err(|e| ServeError::Pool(e.to_string()))?;
+    let mut journal = match sc.build.journal_path() {
+        Some(path) => {
+            Journal::open_file(&path).map_err(|e| ServeError::Pool(format!("journal: {e}")))?
+        }
+        None => Journal::in_memory(),
+    };
+    let recovery = recover(&mut pool, &mut journal).map_err(|e| ServeError::Pool(e.to_string()))?;
+    for id in &recovery.rolled_back {
+        sup.record(
+            id.day,
+            IncidentKind::MigrationRolledBack,
+            format!("{id}: torn copy rolled back to {}", id.from),
+        );
+    }
+    for id in &recovery.replayed {
+        sup.record(
+            id.day,
+            IncidentKind::MigrationReplayed,
+            format!("{id}: durable commit rolled forward to {}", id.to),
+        );
+    }
+    let mut file_ix = BTreeMap::new();
+    for (ix, file) in trace.files.iter().enumerate() {
+        let key = u64::from(file.id.0);
+        file_ix.insert(key, ix);
+        let Some(&expected) = state.tiers.get(ix) else { continue };
+        match pool.location(key) {
+            None => pool
+                .put(key, expected, logical_bytes(file.size_gb))
+                .map_err(|e| ServeError::Pool(e.to_string()))?,
+            Some(t) if t == expected => {}
+            Some(t) => {
+                let explained = journal.records().iter().any(|r| {
+                    r.job.file == key
+                        && r.job.to == t
+                        && r.job.day >= state.next_day
+                        && matches!(r.phase, JobPhase::Committed | JobPhase::Done)
+                });
+                if !explained {
+                    return Err(ServeError::Pool(format!(
+                        "object {key:016x} resident on {t} but the snapshot says {expected}, \
+                         with no journal record explaining it"
+                    )));
+                }
+            }
+        }
+    }
+    if let Some(inj) = sup.injector() {
+        pool.attach_injector(inj);
+    }
+    Ok(StoreRuntime {
+        pool,
+        journal,
+        migrator: Migrator::new(sc.migrate),
+        file_ix,
+        jobs_committed: 0,
+        jobs_skipped: 0,
+        jobs_pinned: 0,
+        jobs_rolled_back: recovery.rolled_back.len() as u64,
+        jobs_replayed: recovery.replayed.len() as u64,
+        migration_ms: 0,
+    })
+}
+
+/// Drains one decision epoch's tier changes through the migration
+/// pipeline *before* billing. Pinned jobs (retry budget exhausted)
+/// overwrite the decision back to the source tier, so the billing sweep
+/// that follows charges the file where it actually stayed. An injected
+/// crash aborts the run before the day is billed — the restart replays
+/// the day and the journal dedups whatever had already committed.
+fn run_migrations(
+    sup: &mut Supervisor,
+    rt: &mut StoreRuntime,
+    trace: &Trace,
+    day: usize,
+    decision: &mut [Tier],
+    current: &[Tier],
+) -> Result<(), ServeError> {
+    let mut jobs = Vec::new();
+    for ((file, &from), &to) in trace.files.iter().zip(current.iter()).zip(decision.iter()) {
+        if from != to {
+            jobs.push(MigrationJob {
+                id: JobId { day, file: u64::from(file.id.0), from, to },
+                logical_bytes: logical_bytes(file.size_gb),
+            });
+        }
+    }
+    if jobs.is_empty() {
+        return Ok(());
+    }
+    let out = rt
+        .migrator
+        .run_batch(&mut rt.pool, &mut rt.journal, &jobs)
+        .map_err(|e| ServeError::Pool(e.to_string()))?;
+    for ev in &out.events {
+        let kind = match ev.kind {
+            MigrationEventKind::Retried => IncidentKind::MigrationRetried,
+            MigrationEventKind::Pinned => IncidentKind::MigrationPinned,
+            MigrationEventKind::RolledBack => IncidentKind::MigrationRolledBack,
+            MigrationEventKind::Replayed => IncidentKind::MigrationReplayed,
+            MigrationEventKind::Crashed => IncidentKind::MigrationCrashed,
+        };
+        sup.record_at(ev.at_ms, day, kind, format!("{}: {}", ev.job, ev.detail));
+    }
+    sup.advance_ms(out.elapsed_ms);
+    rt.migration_ms = rt.migration_ms.saturating_add(out.elapsed_ms);
+    rt.jobs_committed += out.committed_jobs;
+    rt.jobs_skipped += out.skipped_jobs;
+    rt.jobs_pinned += out.pinned.len() as u64;
+    for id in &out.pinned {
+        if let Some(slot) = rt.file_ix.get(&id.file).and_then(|&ix| decision.get_mut(ix)) {
+            *slot = id.from;
+        }
+    }
+    if out.crashed {
+        return Err(ServeError::InjectedCrash(format!(
+            "migration batch on day {day} stopped between copy and commit; \
+             restart from the last checkpoint to recover"
+        )));
+    }
+    Ok(())
+}
+
 /// The supervised serve loop behind both [`serve`] and
 /// [`Supervisor::run`].
 pub(crate) fn run_supervised(
@@ -636,6 +836,13 @@ pub(crate) fn run_supervised(
             None => ServeState::fresh(cfg, fleet),
         },
         None => ServeState::fresh(cfg, fleet),
+    };
+
+    // The object store, when attached: recover torn migrations, reconcile
+    // with the restored state, place any missing objects.
+    let mut store_rt = match &cfg.store {
+        Some(sc) => Some(setup_store(sup, trace, sc, &state, resumed_from_day.is_some())?),
+        None => None,
     };
 
     let end = cfg.max_days.map_or(trace.days, |m| m.min(trace.days));
@@ -675,7 +882,7 @@ pub(crate) fn run_supervised(
         // Decision phase, at the batch engine's cadence, on features
         // assembled purely from online statistics. The supervisor retries
         // injected policy-step failures and degrades past the budget.
-        let decided = if day % cfg.decide_every == 0 {
+        let mut decided = if day % cfg.decide_every == 0 {
             let synthetic = synthesize_fleet(trace, &state, &pending_reads, &pending_writes, day);
             let start = Instant::now();
             let decision = sup.decide(policy, day, &synthetic, model, &state.tiers)?;
@@ -685,6 +892,14 @@ pub(crate) fn run_supervised(
             None
         };
 
+        // Migration phase: physically apply the decision's tier changes
+        // through the pipeline before billing, so exhausted jobs can pin
+        // their file (and its bill) to the source tier, and an injected
+        // crash aborts before the day is billed.
+        if let (Some(rt), Some(decision)) = (store_rt.as_mut(), decided.as_mut()) {
+            run_migrations(sup, rt, trace, day, decision, &state.tiers)?;
+        }
+
         // Billing phase: identical ordering and arithmetic to
         // `engine::run_shard`, fed by the exact open-day counters.
         let mut breakdown = CostBreakdown::default();
@@ -692,6 +907,9 @@ pub(crate) fn run_supervised(
             let target = decided.as_ref().map_or(state.tiers[ix], |d| d[ix]);
             let changed_from = if target != state.tiers[ix] {
                 state.tier_changes += 1;
+                state.billed_change_bytes = state
+                    .billed_change_bytes
+                    .saturating_add(logical_bytes(trace.files[ix].size_gb));
                 Some(state.tiers[ix])
             } else {
                 None
@@ -735,6 +953,36 @@ pub(crate) fn run_supervised(
         }
     }
 
+    // The headline invariant, checked before the final checkpoint so a
+    // disagreeing ledger is never persisted as clean: every logical byte
+    // billed as a tier change must have a durable commit record, and vice
+    // versa (DESIGN.md §15).
+    let store_report = match &store_rt {
+        Some(rt) => {
+            let committed = rt.journal.committed_bytes();
+            if committed != state.billed_change_bytes {
+                return Err(ServeError::Pool(format!(
+                    "store/ledger invariant violated: billed {} tier-change byte(s) but the \
+                     journal committed {committed}",
+                    state.billed_change_bytes
+                )));
+            }
+            Some(StoreReport {
+                objects: rt.pool.len(),
+                jobs_committed: rt.jobs_committed,
+                jobs_skipped: rt.jobs_skipped,
+                jobs_pinned: rt.jobs_pinned,
+                jobs_rolled_back: rt.jobs_rolled_back,
+                jobs_replayed: rt.jobs_replayed,
+                committed_bytes: committed,
+                billed_change_bytes: state.billed_change_bytes,
+                migration_ms: rt.migration_ms,
+                io: rt.pool.io_all(),
+            })
+        }
+        None => None,
+    };
+
     // A final snapshot at shutdown so `max_days`-interrupted runs resume
     // from exactly where they stopped, not the last periodic checkpoint.
     if let Some(path) = &cfg.checkpoint_path {
@@ -769,6 +1017,7 @@ pub(crate) fn run_supervised(
         days_served_through: state.next_day,
         incidents: sup.take_incidents(),
         degraded_epochs: sup.degraded_epochs(),
+        store: store_report,
     })
 }
 
@@ -849,11 +1098,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn columnar_synthesis_matches_deprecated_per_file_path() {
-        // The deprecated per-file synthesizer is kept as the equivalence
-        // anchor: the columnar kernel must append exactly the series it
-        // would have built, for short, window-sized, and filler-heavy days.
+    fn push_series_conserves_prefix_sums_and_length() {
+        // The columnar kernel must emit exactly `day + 1` entries whose
+        // filler conserves the lifetime sums, for short, window-sized, and
+        // filler-heavy days.
         let stats = SeriesStats {
             ring_reads: &[3, 4, 5],
             ring_writes: &[1, 0, 2],
@@ -862,13 +1110,19 @@ mod tests {
             pending: (7, 1),
         };
         for day in [0usize, 2, 3, 9] {
-            let legacy = synth_series(tracegen::FileId(3), 0.25, day, &stats);
             let mut reads = Vec::new();
             let mut writes = Vec::new();
             push_series(&mut reads, &mut writes, day, &stats);
-            assert_eq!(reads, legacy.reads, "day {day}");
-            assert_eq!(writes, legacy.writes, "day {day}");
-            assert_eq!(reads.len(), day + 1);
+            assert_eq!(reads.len(), day + 1, "day {day}");
+            assert_eq!(writes.len(), day + 1, "day {day}");
+            // Once filler slots exist, filler + ring conserve the exact
+            // lifetime prefix sums.
+            if day > stats.ring_reads.len() {
+                assert_eq!(reads[..day].iter().sum::<u64>(), stats.sum_reads, "day {day}");
+                assert_eq!(writes[..day].iter().sum::<u64>(), stats.sum_writes, "day {day}");
+            }
+            assert_eq!(reads[day], stats.pending.0, "day {day}");
+            assert_eq!(writes[day], stats.pending.1, "day {day}");
         }
     }
 

@@ -133,10 +133,21 @@ pub enum IncidentKind {
     PolicyRetried,
     /// A decision epoch was pinned to the degraded fallback policy.
     Degraded,
+    /// A migration attempt failed and was retried after backoff.
+    MigrationRetried,
+    /// A migration exhausted its retry budget; the file is pinned to its
+    /// source tier and billed there.
+    MigrationPinned,
+    /// Store recovery rolled a torn (uncommitted) migration back.
+    MigrationRolledBack,
+    /// Store recovery rolled a committed-but-uncleaned migration forward.
+    MigrationReplayed,
+    /// The injected crash fired between a migration's copy and commit.
+    MigrationCrashed,
 }
 
 /// Every incident kind, in the fixed order summaries report them in.
-pub const INCIDENT_KINDS: [IncidentKind; 11] = [
+pub const INCIDENT_KINDS: [IncidentKind; 16] = [
     IncidentKind::SaveRetried,
     IncidentKind::LoadRetried,
     IncidentKind::CheckpointCorrupt,
@@ -148,6 +159,11 @@ pub const INCIDENT_KINDS: [IncidentKind; 11] = [
     IncidentKind::CorruptBatch,
     IncidentKind::PolicyRetried,
     IncidentKind::Degraded,
+    IncidentKind::MigrationRetried,
+    IncidentKind::MigrationPinned,
+    IncidentKind::MigrationRolledBack,
+    IncidentKind::MigrationReplayed,
+    IncidentKind::MigrationCrashed,
 ];
 
 impl IncidentKind {
@@ -166,6 +182,11 @@ impl IncidentKind {
             IncidentKind::CorruptBatch => "corrupt-batch",
             IncidentKind::PolicyRetried => "policy-retried",
             IncidentKind::Degraded => "degraded",
+            IncidentKind::MigrationRetried => "migration-retried",
+            IncidentKind::MigrationPinned => "migration-pinned",
+            IncidentKind::MigrationRolledBack => "migration-rolled-back",
+            IncidentKind::MigrationReplayed => "migration-replayed",
+            IncidentKind::MigrationCrashed => "migration-crashed",
         }
     }
 }
@@ -336,6 +357,29 @@ impl Supervisor {
     /// Records one incident at the current virtual time.
     pub(crate) fn record(&mut self, day: usize, kind: IncidentKind, detail: String) {
         self.incidents.record(Incident { at_ms: self.now_ms, day, kind, detail });
+    }
+
+    /// Records one incident at an explicit offset past the current virtual
+    /// time (migration batches report event times relative to their start).
+    pub(crate) fn record_at(
+        &mut self,
+        offset_ms: u64,
+        day: usize,
+        kind: IncidentKind,
+        detail: String,
+    ) {
+        self.incidents.record(Incident {
+            at_ms: self.now_ms.saturating_add(offset_ms),
+            day,
+            kind,
+            detail,
+        });
+    }
+
+    /// Advances the virtual clock by a migration batch's elapsed time, so
+    /// later incidents sort after the batch's own events.
+    pub(crate) fn advance_ms(&mut self, ms: u64) {
+        self.now_ms = self.now_ms.saturating_add(ms);
     }
 
     /// Runs a snapshot operation under the transient-retry policy: each

@@ -1,0 +1,372 @@
+//! The append-only migration journal: a two-phase commit per job.
+//!
+//! Every migration writes, in order: an `intent` record before any bytes
+//! move, a `committed` record after the destination copy verifies (the
+//! **commit point** — its `bytes` field is what the billed-vs-committed
+//! invariant sums), and a `done` record once the source copy is deleted.
+//! A job abandoned by rollback or pinned after retry exhaustion appends
+//! `aborted` instead.
+//!
+//! Each line is independently checksummed with the snapshot path's
+//! `fnv1a64` (`fnv1a64:<16 hex> <json>`), so a crash mid-append leaves a
+//! torn *tail* line that is detected and dropped — indistinguishable from
+//! the record never having been written, which is exactly the two-phase-
+//! commit contract. A bad line *before* the tail means real corruption
+//! and fails the load (the serving loop's unrecoverable-pool path).
+//!
+//! Recovery semantics over the latest phase per job id:
+//!
+//! | latest phase | meaning                | recovery action               |
+//! |--------------|------------------------|-------------------------------|
+//! | `intent`     | copy may be torn       | roll back: delete destination |
+//! | `committed`  | copy verified, durable | roll forward: delete source   |
+//! | `done`       | fully applied          | nothing                       |
+//! | `aborted`    | rolled back / pinned   | nothing (job may re-run)      |
+
+use pricing::Tier;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use stream::fnv1a64;
+
+/// Identity of one migration job: a specific file moving between a
+/// specific pair of tiers on a specific day. Replaying a day after a
+/// restart regenerates the same ids, which is what makes journal lookups
+/// deduplicate already-committed work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId {
+    /// Trace day the decision was made.
+    pub day: usize,
+    /// File id (the trace's stable u64 id).
+    pub file: u64,
+    /// Source tier.
+    pub from: Tier,
+    /// Destination tier.
+    pub to: Tier,
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "day {} file {:016x} {}->{}",
+            self.day,
+            self.file,
+            self.from.name(),
+            self.to.name()
+        )
+    }
+}
+
+/// A job's lifecycle phase as recorded in the journal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum JobPhase {
+    /// Declared before any bytes move.
+    Intent,
+    /// Destination copy verified; the commit point.
+    Committed,
+    /// Source copy deleted; fully applied.
+    Done,
+    /// Rolled back or pinned; the job may be re-attempted later.
+    Aborted,
+}
+
+/// One checksummed journal line.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// Monotone sequence number (per journal).
+    pub seq: u64,
+    /// The job this record belongs to.
+    pub job: JobId,
+    /// The phase transition this record declares.
+    pub phase: JobPhase,
+    /// Logical bytes the job moves (meaningful on `committed`).
+    pub bytes: u64,
+}
+
+/// Where journal lines persist.
+trait JournalSink {
+    /// Appends one line durably.
+    fn append_line(&mut self, line: &str) -> Result<(), String>;
+}
+
+/// In-memory sink (ephemeral pools).
+#[derive(Debug, Default)]
+struct MemSink;
+
+impl JournalSink for MemSink {
+    fn append_line(&mut self, _line: &str) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// File sink: append + fsync per record, so the journal's record order is
+/// durable before any depending pool mutation happens.
+#[derive(Debug)]
+struct FileSink {
+    path: PathBuf,
+}
+
+impl JournalSink for FileSink {
+    fn append_line(&mut self, line: &str) -> Result<(), String> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| format!("{}: {e}", self.path.display()))?;
+        file.write_all(line.as_bytes()).map_err(|e| format!("{}: {e}", self.path.display()))?;
+        file.write_all(b"\n").map_err(|e| format!("{}: {e}", self.path.display()))?;
+        file.sync_data().map_err(|e| format!("{}: {e}", self.path.display()))
+    }
+}
+
+/// The migration journal: an ordered, checksummed record log plus the
+/// derived latest-phase index.
+pub struct Journal {
+    sink: Box<dyn JournalSink>,
+    records: Vec<JournalRecord>,
+    next_seq: u64,
+    dropped_tail: bool,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("records", &self.records.len())
+            .field("next_seq", &self.next_seq)
+            .field("dropped_tail", &self.dropped_tail)
+            .finish()
+    }
+}
+
+fn encode_line(record: &JournalRecord) -> Result<String, String> {
+    let json = serde_json::to_string(record).map_err(|e| format!("encode: {e}"))?;
+    let digest = fnv1a64(json.as_bytes());
+    Ok(format!("fnv1a64:{digest:016x} {json}"))
+}
+
+fn decode_line(line: &str) -> Result<JournalRecord, String> {
+    let (head, json) =
+        line.split_once(' ').ok_or_else(|| format!("journal line missing checksum: {line:?}"))?;
+    let hex = head
+        .strip_prefix("fnv1a64:")
+        .ok_or_else(|| format!("journal line missing checksum: {line:?}"))?;
+    let declared = u64::from_str_radix(hex, 16).map_err(|e| format!("journal checksum: {e}"))?;
+    let actual = fnv1a64(json.as_bytes());
+    if actual != declared {
+        return Err(format!("journal checksum mismatch ({actual:016x} != {declared:016x})"));
+    }
+    serde_json::from_str(json).map_err(|e| format!("journal record: {e}"))
+}
+
+impl Journal {
+    /// An ephemeral journal (memory-backed pools; nothing survives the
+    /// process, so neither does the journal).
+    #[must_use]
+    pub fn in_memory() -> Journal {
+        Journal { sink: Box::new(MemSink), records: Vec::new(), next_seq: 0, dropped_tail: false }
+    }
+
+    /// Opens (or creates) a file-backed journal, replaying existing
+    /// records. A torn final line is dropped — by the append protocol it
+    /// carries no effects that need undoing; a torn or corrupt line
+    /// anywhere else is an error.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and mid-log corruption, as messages.
+    pub fn open_file(path: &Path) -> Result<Journal, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+        let mut records = Vec::with_capacity(lines.len());
+        let mut dropped_tail = false;
+        let last_ix = lines.len().saturating_sub(1);
+        for (ix, line) in lines.iter().enumerate() {
+            match decode_line(line) {
+                Ok(record) => records.push(record),
+                Err(_) if ix == last_ix => {
+                    // Torn tail from a crash mid-append: the record never
+                    // committed. Later appends rewrite from a clean line.
+                    dropped_tail = true;
+                }
+                Err(e) => return Err(format!("{} line {}: {e}", path.display(), ix + 1)),
+            }
+        }
+        if dropped_tail {
+            // Truncate the torn tail so future appends start on a fresh
+            // line instead of concatenating onto garbage.
+            let clean: String = records
+                .iter()
+                .map(encode_line)
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .map(|l| l + "\n")
+                .collect();
+            std::fs::write(path, clean).map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        let next_seq = records.iter().map(|r| r.seq + 1).max().unwrap_or(0);
+        Ok(Journal {
+            sink: Box::new(FileSink { path: path.to_path_buf() }),
+            records,
+            next_seq,
+            dropped_tail,
+        })
+    }
+
+    /// Appends a record durably and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Encoding or sink failures, as messages.
+    pub fn append(
+        &mut self,
+        job: JobId,
+        phase: JobPhase,
+        bytes: u64,
+    ) -> Result<JournalRecord, String> {
+        let record = JournalRecord { seq: self.next_seq, job, phase, bytes };
+        let line = encode_line(&record)?;
+        self.sink.append_line(&line)?;
+        self.next_seq += 1;
+        self.records.push(record.clone());
+        Ok(record)
+    }
+
+    /// Every record, in append order.
+    #[must_use]
+    pub fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+
+    /// The latest phase recorded for each job id.
+    #[must_use]
+    pub fn latest_phases(&self) -> BTreeMap<JobId, JobPhase> {
+        let mut latest = BTreeMap::new();
+        for r in &self.records {
+            latest.insert(r.job, r.phase);
+        }
+        latest
+    }
+
+    /// The latest phase recorded for `job`, if any.
+    #[must_use]
+    pub fn phase_of(&self, job: &JobId) -> Option<JobPhase> {
+        self.records.iter().rev().find(|r| r.job == *job).map(|r| r.phase)
+    }
+
+    /// Total logical bytes across `committed` records — the durable side
+    /// of the billed-vs-committed invariant.
+    #[must_use]
+    pub fn committed_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.phase == JobPhase::Committed)
+            .map(|r| r.bytes)
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Count of `committed` records.
+    #[must_use]
+    pub fn committed_jobs(&self) -> u64 {
+        self.records.iter().filter(|r| r.phase == JobPhase::Committed).count() as u64
+    }
+
+    /// Whether opening this journal dropped a torn tail line.
+    #[must_use]
+    pub fn dropped_tail(&self) -> bool {
+        self.dropped_tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(day: usize, file: u64) -> JobId {
+        JobId { day, file, from: Tier::Hot, to: Tier::Cool }
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("minicost-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn file_journal_round_trips_and_indexes() {
+        let path = scratch("roundtrip.log");
+        {
+            let mut j = Journal::open_file(&path).unwrap();
+            j.append(job(0, 1), JobPhase::Intent, 0).unwrap();
+            j.append(job(0, 1), JobPhase::Committed, 100).unwrap();
+            j.append(job(0, 1), JobPhase::Done, 100).unwrap();
+            j.append(job(0, 2), JobPhase::Intent, 0).unwrap();
+        }
+        let j = Journal::open_file(&path).unwrap();
+        assert_eq!(j.records().len(), 4);
+        assert!(!j.dropped_tail());
+        assert_eq!(j.phase_of(&job(0, 1)), Some(JobPhase::Done));
+        assert_eq!(j.phase_of(&job(0, 2)), Some(JobPhase::Intent));
+        assert_eq!(j.phase_of(&job(9, 9)), None);
+        assert_eq!(j.committed_bytes(), 100);
+        assert_eq!(j.committed_jobs(), 1);
+        assert_eq!(j.latest_phases().len(), 2);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated() {
+        let path = scratch("torn.log");
+        {
+            let mut j = Journal::open_file(&path).unwrap();
+            j.append(job(1, 5), JobPhase::Intent, 0).unwrap();
+            j.append(job(1, 5), JobPhase::Committed, 64).unwrap();
+        }
+        // Simulate a crash mid-append: a prefix of a valid third line.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"fnv1a64:0123456789abcdef {\"seq\":2,\"jo");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let j = Journal::open_file(&path).unwrap();
+        assert!(j.dropped_tail(), "torn tail must be detected");
+        assert_eq!(j.records().len(), 2, "torn record never committed");
+        assert_eq!(j.committed_bytes(), 64);
+        // The reopen truncated the tail; a fresh open is clean.
+        let again = Journal::open_file(&path).unwrap();
+        assert!(!again.dropped_tail());
+        assert_eq!(again.records().len(), 2);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_an_error_not_a_drop() {
+        let path = scratch("corrupt.log");
+        {
+            let mut j = Journal::open_file(&path).unwrap();
+            j.append(job(2, 8), JobPhase::Intent, 0).unwrap();
+            j.append(job(2, 8), JobPhase::Committed, 32).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted = text.replacen("fnv1a64", "fnv1a65", 1);
+        std::fs::write(&path, corrupted).unwrap();
+        assert!(Journal::open_file(&path).is_err(), "mid-log corruption must fail the open");
+    }
+
+    #[test]
+    fn seq_continues_after_reopen() {
+        let path = scratch("seq.log");
+        {
+            let mut j = Journal::open_file(&path).unwrap();
+            j.append(job(3, 1), JobPhase::Intent, 0).unwrap();
+        }
+        let mut j = Journal::open_file(&path).unwrap();
+        let r = j.append(job(3, 1), JobPhase::Aborted, 0).unwrap();
+        assert_eq!(r.seq, 1, "sequence numbers continue across restarts");
+    }
+}

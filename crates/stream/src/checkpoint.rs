@@ -100,6 +100,12 @@ pub struct Snapshot {
     pub occupancy: Vec<[usize; TIER_COUNT]>,
     /// Total tier transitions applied so far.
     pub tier_changes: u64,
+    /// Logical bytes billed as tier-change traffic so far. Cross-checked
+    /// at end of run against the store journal's committed migration bytes
+    /// when a tiered object store is attached; absent in older snapshots
+    /// (defaults to 0).
+    #[serde(default)]
+    pub billed_change_bytes: u64,
     /// Wall-clock milliseconds spent in each decision epoch.
     pub decision_millis: Vec<f64>,
     /// Exact online statistics (present in exact mode).
@@ -402,6 +408,7 @@ mod tests {
             per_file: vec![Money::from_micros(10), Money::from_micros(0)],
             occupancy: vec![[2, 0, 0]; 6],
             tier_changes: 1,
+            billed_change_bytes: 0,
             decision_millis: vec![0.5, 0.25],
             exact: Some(ExactStats::new(7, 2)),
             bounded: None,

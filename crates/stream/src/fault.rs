@@ -55,10 +55,23 @@ pub enum FaultSite {
     Reorder,
     /// A day's request counts arrive amplified (duplicated upstream).
     Burst,
+    /// A vdev object read fails with a transient I/O error (retryable).
+    VdevRead,
+    /// A vdev object write fails with a transient I/O error (retryable).
+    VdevWrite,
+    /// A vdev transfer runs at inflated latency (can trip the migration
+    /// timeout; the transfer itself still completes).
+    SlowVdev,
+    /// A vdev allocation is refused as if the tier were full (retryable;
+    /// models transient capacity pressure).
+    TierFull,
+    /// The process "crashes" between a migration's copy and its commit
+    /// record — the torn state the journal must roll back on restart.
+    CrashCopy,
 }
 
 /// Every site, in a fixed order (indexes match the injector's counters).
-pub const FAULT_SITES: [FaultSite; 9] = [
+pub const FAULT_SITES: [FaultSite; 14] = [
     FaultSite::SaveIo,
     FaultSite::TornWrite,
     FaultSite::BitFlip,
@@ -68,6 +81,11 @@ pub const FAULT_SITES: [FaultSite; 9] = [
     FaultSite::DropDay,
     FaultSite::Reorder,
     FaultSite::Burst,
+    FaultSite::VdevRead,
+    FaultSite::VdevWrite,
+    FaultSite::SlowVdev,
+    FaultSite::TierFull,
+    FaultSite::CrashCopy,
 ];
 
 impl FaultSite {
@@ -84,6 +102,11 @@ impl FaultSite {
             FaultSite::DropDay => 6,
             FaultSite::Reorder => 7,
             FaultSite::Burst => 8,
+            FaultSite::VdevRead => 9,
+            FaultSite::VdevWrite => 10,
+            FaultSite::SlowVdev => 11,
+            FaultSite::TierFull => 12,
+            FaultSite::CrashCopy => 13,
         }
     }
 
@@ -92,7 +115,7 @@ impl FaultSite {
     fn tag(self) -> u64 {
         // Arbitrary fixed odd constants; changing any silently reshuffles
         // every chaos run, so treat them as frozen.
-        const TAGS: [u64; 9] = [
+        const TAGS: [u64; 14] = [
             0x5341_5645_494f_0001,
             0x544f_524e_5752_0003,
             0x4249_5446_4c49_0005,
@@ -102,6 +125,11 @@ impl FaultSite {
             0x4452_4f50_4441_000d,
             0x5245_4f52_4445_000f,
             0x4255_5253_5421_0011,
+            0x5644_4556_5244_0013,
+            0x5644_4556_5752_0015,
+            0x534c_4f57_5644_0017,
+            0x5449_4552_4655_0019,
+            0x4352_4153_4843_001b,
         ];
         TAGS[self.index()]
     }
@@ -119,6 +147,11 @@ impl FaultSite {
             FaultSite::DropDay => "drop-day",
             FaultSite::Reorder => "reorder",
             FaultSite::Burst => "burst",
+            FaultSite::VdevRead => "vdev-read",
+            FaultSite::VdevWrite => "vdev-write",
+            FaultSite::SlowVdev => "slow-vdev",
+            FaultSite::TierFull => "tier-full",
+            FaultSite::CrashCopy => "crash-copy",
         }
     }
 }
@@ -160,6 +193,22 @@ pub struct FaultPlan {
     /// Burst-amplified deliveries.
     #[serde(default)]
     pub burst_permille: u32,
+    /// Transient vdev object-read failures (store path).
+    #[serde(default)]
+    pub vdev_read_permille: u32,
+    /// Transient vdev object-write failures (store path).
+    #[serde(default)]
+    pub vdev_write_permille: u32,
+    /// Latency-inflated vdev transfers (store path).
+    #[serde(default)]
+    pub slow_vdev_permille: u32,
+    /// Transient tier-full refusals on vdev allocation (store path).
+    #[serde(default)]
+    pub tier_full_permille: u32,
+    /// Simulated crashes between a migration's copy and commit (store
+    /// path; recoverable only across a restart).
+    #[serde(default)]
+    pub crash_copy_permille: u32,
     /// Hard cap on total injected faults across all sites; 0 means
     /// unlimited. A finite cap below the supervisor's retry budget makes
     /// the whole plan provably recoverable.
@@ -182,6 +231,11 @@ impl FaultPlan {
             drop_day_permille: 0,
             reorder_permille: 0,
             burst_permille: 0,
+            vdev_read_permille: 0,
+            vdev_write_permille: 0,
+            slow_vdev_permille: 0,
+            tier_full_permille: 0,
+            crash_copy_permille: 0,
             max_faults: 0,
         }
     }
@@ -202,8 +256,38 @@ impl FaultPlan {
             drop_day_permille: 120,
             reorder_permille: 150,
             burst_permille: 120,
+            vdev_read_permille: 0,
+            vdev_write_permille: 0,
+            slow_vdev_permille: 0,
+            tier_full_permille: 0,
+            crash_copy_permille: 0,
             max_faults: 6,
         }
+    }
+
+    /// The store-path chaos plan behind `--chaos-seed` when a store is
+    /// attached: the checkpoint/delivery sites of [`FaultPlan::chaos`] plus
+    /// every retryable vdev site, still under a finite budget below the
+    /// migration retry allowance. `CrashCopy` stays disarmed — a simulated
+    /// crash is recoverable only across a restart, so it is armed
+    /// explicitly (see `store_crash`) rather than mixed into soak plans.
+    #[must_use]
+    pub fn store_chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            vdev_read_permille: 150,
+            vdev_write_permille: 150,
+            slow_vdev_permille: 120,
+            tier_full_permille: 100,
+            ..FaultPlan::chaos(seed)
+        }
+    }
+
+    /// A plan that fires exactly one crash between copy and commit (first
+    /// consultation, rate 1000‰, budget 1) and nothing else: the
+    /// deterministic kill switch the chaos drills restart from.
+    #[must_use]
+    pub fn store_crash(seed: u64) -> FaultPlan {
+        FaultPlan { crash_copy_permille: 1000, max_faults: 1, ..FaultPlan::quiet(seed) }
     }
 
     /// The firing rate for `site`, in parts per thousand.
@@ -219,6 +303,11 @@ impl FaultPlan {
             FaultSite::DropDay => self.drop_day_permille,
             FaultSite::Reorder => self.reorder_permille,
             FaultSite::Burst => self.burst_permille,
+            FaultSite::VdevRead => self.vdev_read_permille,
+            FaultSite::VdevWrite => self.vdev_write_permille,
+            FaultSite::SlowVdev => self.slow_vdev_permille,
+            FaultSite::TierFull => self.tier_full_permille,
+            FaultSite::CrashCopy => self.crash_copy_permille,
         }
     }
 
@@ -504,6 +593,29 @@ mod tests {
         assert_eq!(fired, 3, "budget of 3 must stop the 100%-rate site");
         assert_eq!(inj.total_injected(), 3);
         assert_eq!(inj.injected_at(FaultSite::SaveIo), 3);
+    }
+
+    #[test]
+    fn store_plans_arm_the_right_sites() {
+        let soak = FaultPlan::store_chaos(21);
+        for site in
+            [FaultSite::VdevRead, FaultSite::VdevWrite, FaultSite::SlowVdev, FaultSite::TierFull]
+        {
+            assert!(soak.permille(site) > 0, "{} must be armed in store_chaos", site.name());
+        }
+        assert_eq!(soak.permille(FaultSite::CrashCopy), 0, "soak plans never self-crash");
+        assert_eq!(soak.max_faults, FaultPlan::chaos(21).max_faults);
+
+        // The crash plan fires exactly once, at the first consultation.
+        let mut inj = FaultInjector::new(FaultPlan::store_crash(4));
+        assert!(inj.fires(FaultSite::CrashCopy));
+        let again = (0..50).filter(|_| inj.fires(FaultSite::CrashCopy)).count();
+        assert_eq!(again, 0, "budget 1 caps the crash plan");
+        for site in FAULT_SITES {
+            if site != FaultSite::CrashCopy {
+                assert!(!inj.fires(site), "{} fired under store_crash", site.name());
+            }
+        }
     }
 
     #[test]

@@ -15,13 +15,14 @@ use std::fmt::Write as _;
 
 /// Maps a crate *directory* name (`crates/<dir>`) to its library target
 /// name as it appears in `use` paths. Keep in sync with `crates/*/Cargo.toml`.
-pub const CRATE_LIB_NAMES: [(&str, &str); 9] = [
+pub const CRATE_LIB_NAMES: [(&str, &str); 10] = [
     ("pricing", "pricing"),
     ("trace", "tracegen"),
     ("forecast", "forecast"),
     ("nn", "nn"),
     ("rl", "rl"),
     ("stream", "stream"),
+    ("store", "store"),
     ("core", "minicost"),
     ("bench", "bench_support"),
     ("xtask", "xtask"),

@@ -1,0 +1,167 @@
+//! Property tests of torn-migration recovery (DESIGN.md §15): kill the
+//! process at an *arbitrary byte offset* during a migration's copy (or
+//! between its commit and its cleanup), restart against the same
+//! directory, and journal recovery must deterministically roll the torn
+//! copy back (or the durable commit forward), leave the pool consistent,
+//! and let a replay of the same decision batch converge to the exact
+//! ledger of an uninterrupted run — every byte committed exactly once.
+
+use pricing::Tier;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use store::{
+    frame_object, recover, synth_payload, FileVdev, JobId, JobPhase, Journal, MigrateConfig,
+    MigrationJob, Migrator, StoragePool,
+};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("minicost-store-recovery-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn job_bytes(f: u64) -> u64 {
+    300 + f * 77
+}
+
+fn jobs(n_files: u64) -> Vec<MigrationJob> {
+    (0..n_files)
+        .map(|f| MigrationJob {
+            id: JobId { day: 1, file: f, from: Tier::Hot, to: Tier::Cool },
+            logical_bytes: job_bytes(f),
+        })
+        .collect()
+}
+
+/// Opens "the process's" view of the pool + journal under `dir`.
+fn open(dir: &std::path::Path) -> (StoragePool, Journal) {
+    let pool = StoragePool::open_dir(dir).expect("open pool");
+    let journal = Journal::open_file(&dir.join("journal.log")).expect("open journal");
+    (pool, journal)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The exhaustive crash matrix: `committed_before` jobs finish
+    /// cleanly, then the next job is killed either mid-copy (destination
+    /// truncated to an arbitrary prefix, journal at `intent`) or between
+    /// commit and cleanup (journal at `committed`, source still present),
+    /// optionally with a torn tail line on the journal itself. Restart,
+    /// recover, replay.
+    #[test]
+    fn kill_at_arbitrary_offset_recovers_and_replays_to_one_ledger(
+        n_files in 2u64..6,
+        torn_pick in 0u64..6,
+        cut_permille in 0u32..=1000,
+        after_commit in any::<bool>(),
+        torn_tail in any::<bool>(),
+    ) {
+        let dir = scratch_dir();
+        let torn = torn_pick % n_files;
+        let batch = jobs(n_files);
+        let total_bytes: u64 = batch.iter().map(|j| j.logical_bytes).sum();
+
+        // ---- The doomed process: place the fleet, migrate a prefix,
+        // then die mid-way through job `torn`.
+        {
+            let (mut pool, mut journal) = open(&dir);
+            for f in 0..n_files {
+                pool.put(f, Tier::Hot, job_bytes(f)).expect("initial placement");
+            }
+            let done = Migrator::new(MigrateConfig::default())
+                .run_batch(&mut pool, &mut journal, &batch[..torn as usize])
+                .expect("clean prefix batch");
+            prop_assert_eq!(done.committed_jobs, torn);
+
+            let id = batch[torn as usize].id;
+            let bytes = batch[torn as usize].logical_bytes;
+            let frame = frame_object(bytes, &synth_payload(id.file, bytes));
+            journal.append(id, JobPhase::Intent, bytes).expect("intent");
+            if after_commit {
+                // Copy verified and commit durable; the kill lands before
+                // the source delete.
+                pool.write_frame(Tier::Cool, id.file, &frame, bytes, 0).expect("full copy");
+                journal.append(id, JobPhase::Committed, bytes).expect("commit");
+            } else {
+                // Kill mid-copy: an arbitrary prefix of the frame lands.
+                pool.write_frame(Tier::Cool, id.file, &frame, bytes, 0).expect("copy");
+                let cool = FileVdev::open(&dir.join("cool"), None).expect("cool vdev");
+                let path = cool.object_path(id.file);
+                let cut = (frame.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+                std::fs::write(&path, &frame[..cut]).expect("truncate destination");
+            }
+            if torn_tail {
+                // The kill also tore the journal's in-flight append.
+                use std::io::Write;
+                let mut f = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(dir.join("journal.log"))
+                    .expect("journal file");
+                f.write_all(b"fnv1a64:0123456789abcdef {\"seq\":99,\"jo").expect("torn tail");
+            }
+        }
+
+        // ---- The restart: recovery must resolve the torn state without
+        // manual intervention, deterministically.
+        let (mut pool, mut journal) = open(&dir);
+        prop_assert_eq!(journal.dropped_tail(), torn_tail, "torn tail detection");
+        let report = recover(&mut pool, &mut journal).expect("recovery");
+        let id = batch[torn as usize].id;
+        if after_commit {
+            prop_assert_eq!(&report.replayed, &vec![id], "durable commit rolls forward");
+            prop_assert!(report.rolled_back.is_empty());
+            prop_assert_eq!(pool.location(id.file), Some(Tier::Cool));
+            prop_assert!(!pool.contains_at(Tier::Hot, id.file), "source must be cleaned");
+        } else {
+            prop_assert_eq!(&report.rolled_back, &vec![id], "torn copy rolls back");
+            prop_assert!(report.replayed.is_empty());
+            prop_assert_eq!(pool.location(id.file), Some(Tier::Hot));
+            prop_assert!(!pool.contains_at(Tier::Cool, id.file), "torn copy must be deleted");
+        }
+        prop_assert!(pool.duplicate_keys().is_empty(), "no unresolved duplicates survive");
+        for f in 0..torn {
+            prop_assert_eq!(pool.location(f), Some(Tier::Cool), "prefix commits survive");
+        }
+
+        // Recovery is idempotent: a second crash-free restart finds
+        // nothing left to repair.
+        {
+            let (mut pool2, mut journal2) = open(&dir);
+            let again = recover(&mut pool2, &mut journal2).expect("idempotent recovery");
+            prop_assert!(again.rolled_back.is_empty() && again.replayed.is_empty());
+        }
+
+        // ---- The replay: re-running the whole decision batch must skip
+        // what the journal already holds durable, re-run what rolled
+        // back, and land every file on its target with every byte
+        // committed exactly once — the ledger of an uninterrupted run.
+        let out = Migrator::new(MigrateConfig::default())
+            .run_batch(&mut pool, &mut journal, &batch)
+            .expect("replay batch");
+        prop_assert!(!out.crashed);
+        prop_assert!(out.pinned.is_empty());
+        prop_assert_eq!(
+            out.skipped_jobs,
+            torn + u64::from(after_commit),
+            "durable jobs dedup on replay"
+        );
+        prop_assert_eq!(out.committed_jobs + out.skipped_jobs, n_files);
+        for f in 0..n_files {
+            prop_assert_eq!(pool.location(f), Some(Tier::Cool));
+            prop_assert!(!pool.contains_at(Tier::Hot, f));
+        }
+        prop_assert_eq!(
+            journal.committed_bytes(),
+            total_bytes,
+            "every job's bytes must be committed exactly once across crash + replay"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
